@@ -1,0 +1,106 @@
+// Command machsim runs one workload through one scheme (or all six Fig 11
+// schemes) and prints the timing/energy report.
+//
+// Examples:
+//
+//	machsim -workload V1 -scheme gab -frames 120
+//	machsim -workload V8 -all -frames 240 -width 640 -height 360
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mach"
+	"mach/internal/stats"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "V1", "workload key (V1..V16)")
+		scheme   = flag.String("scheme", "gab", "scheme: baseline|batching|racing|race-to-sleep|mab|gab")
+		all      = flag.Bool("all", false, "run all six standard schemes and print the comparison")
+		frames   = flag.Int("frames", 120, "number of video frames to synthesize")
+		width    = flag.Int("width", 320, "frame width (multiple of 4)")
+		height   = flag.Int("height", 180, "frame height (multiple of 4)")
+		batch    = flag.Int("batch", mach.DefaultBatch, "batch depth for batching schemes")
+		seed     = flag.Int64("seed", 1, "workload generator seed")
+		verbose  = flag.Bool("v", false, "print the full per-run breakdown")
+	)
+	flag.Parse()
+
+	sc := mach.DefaultStreamConfig()
+	sc.Width, sc.Height, sc.NumFrames, sc.Seed = *width, *height, *frames, *seed
+
+	fmt.Fprintf(os.Stderr, "synthesizing %s (%d frames at %dx%d)...\n", *workload, *frames, *width, *height)
+	tr, err := mach.BuildTrace(*workload, sc)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := mach.DefaultConfig()
+
+	if *all {
+		results, err := mach.RunStandard(tr, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		base := results[0]
+		tb := stats.NewTable("scheme", "mJ/frame", "norm", "drops", "S3%", "mem-acc", "match%")
+		for _, r := range results {
+			tb.AddRow(r.Scheme.Name,
+				fmt.Sprintf("%.2f", 1e3*r.EnergyPerFrame()),
+				fmt.Sprintf("%.3f", r.NormalizedTo(base)),
+				r.Drops,
+				fmt.Sprintf("%.1f", 100*r.S3Residency()),
+				r.Mem.Accesses(),
+				fmt.Sprintf("%.1f", 100*r.Mach.MatchRate()))
+		}
+		fmt.Print(tb)
+		if *verbose {
+			for _, r := range results {
+				fmt.Println()
+				fmt.Print(r)
+			}
+		}
+		return
+	}
+
+	s, err := schemeByName(*scheme, *batch)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := mach.Run(tr, s, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(r)
+	_ = verbose
+}
+
+func schemeByName(name string, batch int) (mach.Scheme, error) {
+	switch strings.ToLower(name) {
+	case "baseline", "l":
+		return mach.Baseline(), nil
+	case "batching", "b":
+		return mach.Batching(batch), nil
+	case "racing", "r":
+		return mach.Racing(), nil
+	case "race-to-sleep", "rts", "s":
+		return mach.RaceToSleep(batch), nil
+	case "mab", "m":
+		return mach.MAB(batch), nil
+	case "gab", "g":
+		return mach.GAB(batch), nil
+	case "gab-nodc":
+		return mach.GABNoDisplayOpt(batch), nil
+	default:
+		return mach.Scheme{}, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "machsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// Command report regenerates the paper's tables and figures (DESIGN.md maps
+// each to its experiment) and prints them as text tables.
+//
+//	report                  # run everything at the default scale
+//	report -exp fig11       # one experiment
+//	report -quick           # reduced scale smoke run
+//	report -frames 240 -width 640 -height 360 -videos 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"mach/internal/experiments"
+	"mach/internal/stats"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (fig1a, fig2, fig4, fig5, fig6, fig7, fig9, fig10, fig11, fig12, table1, table2, dcc, record, te, replacement, colorspace, contention) or 'all'")
+		quick  = flag.Bool("quick", false, "reduced scale")
+		frames = flag.Int("frames", 0, "override frames per workload")
+		width  = flag.Int("width", 0, "override frame width")
+		height = flag.Int("height", 0, "override frame height")
+		nvids  = flag.Int("videos", 0, "override number of workloads")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *frames > 0 {
+		cfg.Stream.NumFrames = *frames
+	}
+	if *width > 0 {
+		cfg.Stream.Width = *width
+	}
+	if *height > 0 {
+		cfg.Stream.Height = *height
+	}
+	if *nvids > 0 && *nvids <= len(cfg.Videos) {
+		cfg.Videos = cfg.Videos[:*nvids]
+	}
+	r := experiments.NewRunner(cfg)
+
+	type entry struct {
+		name, title string
+		run         func() (*stats.Table, error)
+	}
+	all := []entry{
+		{"table1", "Table 1: workload videos (synthetic stand-ins)", r.Table1},
+		{"table2", "Table 2: simulated platform configuration", r.Table2},
+		{"fig1a", "Fig 1a: baseline time/energy breakdown", r.Fig1a},
+		{"fig2", "Fig 2: frame-time regions, baseline vs 16-frame batching", r.Fig2},
+		{"fig4", "Fig 4: batch-size sweep at both DVFS points", func() (*stats.Table, error) { return r.Fig4(nil) }},
+		{"fig5", "Fig 5: DRAM row-buffer behaviour at low vs high VD frequency", r.Fig5},
+		{"fig6", "Fig 6: Race-to-Sleep grid (batch x frequency)", func() (*stats.Table, error) { return r.Fig6(nil) }},
+		{"fig7a", "Fig 7a: decode-cache size sweep (address locality)", func() (*stats.Table, error) { return r.Fig7a(nil) }},
+		{"fig7b", "Fig 7b: ideal content similarity (16-frame window)", r.Fig7b},
+		{"fig9a", "Fig 9a: MACH memory savings (mab vs gab vs optimal)", r.Fig9a},
+		{"fig9b", "Fig 9b: digest popularity concentration", r.Fig9b},
+		{"fig10c", "Fig 10c: display-cache size sensitivity", func() (*stats.Table, error) { return r.Fig10c(nil) }},
+		{"fig10d", "Fig 10d: gab record indexing split at the display", r.Fig10d},
+		{"fig10e", "Fig 10e: display memory-access savings", r.Fig10e},
+		{"fig11", "Fig 11: normalized energy, 16 videos x 6 schemes (headline)", r.Fig11},
+		{"fig12a", "Fig 12a: frame buffers vs number of MACHs", func() (*stats.Table, error) { return r.Fig12a(nil) }},
+		{"fig12b", "Fig 12b: MACH-buffer entries sweep", func() (*stats.Table, error) { return r.Fig12b(nil) }},
+		{"fig12c", "Fig 12c: mab size sensitivity (V14)", func() (*stats.Table, error) { return r.Fig12c(nil) }},
+		{"fig12d", "Fig 12d: hash functions and collisions", r.Fig12d},
+		{"dcc", "Sec 6.2: GAB + Delta Color Compression", r.DCC},
+		{"record", "Sec 6.4: recording pipeline (camera + encoder MACH)", r.Record},
+		{"te", "Related work: checksum transaction elimination vs MACH", r.RelatedTE},
+		{"replacement", "Ablation: MACH replacement policy (LRU/LFU/FIFO/optimal)", r.Replacement},
+		{"colorspace", "Sec 4 claim: content caching across colour spaces", r.ColorSpace},
+		{"contention", "Ablation: background SoC traffic", func() (*stats.Table, error) { return r.Contention(nil) }},
+		{"slackpredict", "Related work: history-based slack-predictive DVFS vs race-to-sleep", r.SlackPrediction},
+	}
+
+	want := strings.ToLower(*exp)
+	matched := 0
+	for _, e := range all {
+		if want != "all" && !strings.HasPrefix(e.name, want) {
+			continue
+		}
+		matched++
+		start := time.Now()
+		tb, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s ==\n%s(%s, %.1fs)\n\n", e.title, tb, e.name, time.Since(start).Seconds())
+	}
+	if matched == 0 {
+		names := make([]string, len(all))
+		for i, e := range all {
+			names[i] = e.name
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "report: unknown experiment %q; available: %s\n", *exp, strings.Join(names, ", "))
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,109 @@
+// Command vgen synthesizes the Table 1 workload videos, inspects their
+// content-similarity statistics, and records/replays decode traces.
+//
+//	vgen -list                          # show the 16 profiles
+//	vgen -workload V7 -frames 60 -stats # content similarity of one workload
+//	vgen -workload V7 -out v7.trace     # record a binary decode trace
+//	vgen -in v7.trace -stats            # replay a recorded trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mach/internal/core"
+	"mach/internal/mach"
+	"mach/internal/stats"
+	"mach/internal/trace"
+	"mach/internal/video"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list workload profiles")
+		workload = flag.String("workload", "V1", "workload key")
+		frames   = flag.Int("frames", 60, "frames to synthesize")
+		width    = flag.Int("width", 320, "frame width")
+		height   = flag.Int("height", 180, "frame height")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		showStat = flag.Bool("stats", false, "print content-similarity statistics")
+		out      = flag.String("out", "", "write a binary decode trace to this path")
+		in       = flag.String("in", "", "load a binary decode trace instead of synthesizing")
+		jsonOut  = flag.Bool("json", false, "print the trace summary as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		tb := stats.NewTable("key", "name", "description", "fps", "GOP", "B", "cuts")
+		for _, p := range video.Profiles() {
+			tb.AddRow(p.Key, p.Name, p.Description, p.FPS, p.GOPLength, p.BFrames, p.SceneCutEvery)
+		}
+		fmt.Print(tb)
+		return
+	}
+
+	var tr *trace.Trace
+	var err error
+	if *in != "" {
+		f, err2 := os.Open(*in)
+		if err2 != nil {
+			fatal(err2)
+		}
+		defer f.Close()
+		tr, err = trace.Load(f)
+	} else {
+		sc := video.StreamConfig{Width: *width, Height: *height, NumFrames: *frames, Seed: *seed, MabSize: 4, Quant: 8}
+		tr, err = core.BuildTrace(*workload, sc)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		if err := tr.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	} else {
+		s := tr.Summarize()
+		fmt.Printf("%s: %d frames %dx%d, %d KB encoded, mabs I/P/B = %d/%d/%d\n",
+			s.Profile, s.Frames, s.Width, s.Height, s.EncodedBytes/1024, s.MabsI, s.MabsP, s.MabsB)
+	}
+
+	if *showStat {
+		for _, gradient := range []bool{false, true} {
+			an := mach.NewAnalyzer(16, tr.Params.MabSize, gradient)
+			for i := range tr.Frames {
+				an.ProcessFrame(tr.Frames[i].Decoded)
+			}
+			mode := "mab"
+			if gradient {
+				mode = "gab"
+			}
+			fmt.Printf("%s: intra %.1f%%  inter %.1f%%  none %.1f%%  ideal savings %.1f%%\n",
+				mode, 100*an.IntraRate(), 100*an.InterRate(), 100*an.NoMatchRate(), 100*an.Savings())
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vgen:", err)
+	os.Exit(1)
+}

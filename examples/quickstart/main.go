@@ -1,0 +1,41 @@
+// Quickstart: synthesize one workload, run the baseline and the full GAB
+// recipe, and print what the three techniques bought.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mach"
+)
+
+func main() {
+	// 1. Build a workload: V7 ("Interstellar" trailer stand-in), 90 frames.
+	sc := mach.DefaultStreamConfig()
+	sc.NumFrames = 90
+	tr, err := mach.BuildTrace("V7", sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Run today's pipeline and the paper's full recipe.
+	cfg := mach.DefaultConfig()
+	base, err := mach.Run(tr, mach.Baseline(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gab, err := mach.Run(tr, mach.GAB(mach.DefaultBatch), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Compare.
+	fmt.Printf("workload %s: %d frames at %dx%d\n\n", tr.Profile, tr.NumFrames(), sc.Width, sc.Height)
+	fmt.Printf("%-28s %10s %10s\n", "", "baseline", "GAB recipe")
+	fmt.Printf("%-28s %10.2f %10.2f\n", "energy (mJ/frame)", 1e3*base.EnergyPerFrame(), 1e3*gab.EnergyPerFrame())
+	fmt.Printf("%-28s %10d %10d\n", "dropped frames", base.Drops, gab.Drops)
+	fmt.Printf("%-28s %9.1f%% %9.1f%%\n", "deep-sleep residency", 100*base.S3Residency(), 100*gab.S3Residency())
+	fmt.Printf("%-28s %10d %10d\n", "DRAM line transactions", base.Mem.Accesses(), gab.Mem.Accesses())
+	fmt.Printf("%-28s %10s %9.1f%%\n", "mab content matched", "-", 100*gab.Mach.MatchRate())
+	fmt.Printf("\nGAB energy vs baseline: %.3f (lower is better)\n", gab.NormalizedTo(base))
+}

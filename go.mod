@@ -1,0 +1,3 @@
+module mach
+
+go 1.22

@@ -1,0 +1,225 @@
+// Package cache provides address-indexed hardware cache models used across
+// the SoC: the video decoder's internal decode cache (Fig 7a sweep) and the
+// display controller's direct-mapped display cache (§5.1, Fig 10c).
+//
+// The models are behavioural: they track tag-store state and hit/miss/writeback
+// counts for 64-byte lines but do not hold data. Data movement is accounted by
+// the memory system.
+package cache
+
+import "fmt"
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64 // evictions of dirty lines
+}
+
+// Accesses returns hits + misses.
+func (s Stats) Accesses() int64 { return s.Hits + s.Misses }
+
+// HitRate returns hits / accesses, or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(a)
+}
+
+// MissRate returns 1 - HitRate for a non-empty access stream.
+func (s Stats) MissRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(a)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("acc=%d hit=%.2f%% evict=%d wb=%d", s.Accesses(), 100*s.HitRate(), s.Evictions, s.Writebacks)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // larger = more recently used
+}
+
+// SetAssoc is an N-way set-associative cache with true-LRU replacement.
+type SetAssoc struct {
+	lineSize  uint64
+	sets      int
+	ways      int
+	lines     []line // sets*ways, row-major by set
+	tick      uint64
+	stats     Stats
+	lineShift uint
+}
+
+// NewSetAssoc builds a cache of capacityBytes with the given line size and
+// associativity. capacityBytes must be an exact multiple of lineSize*ways and
+// the set count must be a power of two (hardware-indexable).
+func NewSetAssoc(capacityBytes, lineSize, ways int) *SetAssoc {
+	if capacityBytes <= 0 || lineSize <= 0 || ways <= 0 {
+		panic("cache: non-positive shape")
+	}
+	if capacityBytes%(lineSize*ways) != 0 {
+		panic(fmt.Sprintf("cache: capacity %d not divisible by line*ways %d", capacityBytes, lineSize*ways))
+	}
+	sets := capacityBytes / (lineSize * ways)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
+	}
+	if lineSize&(lineSize-1) != 0 {
+		panic(fmt.Sprintf("cache: line size %d not a power of two", lineSize))
+	}
+	shift := uint(0)
+	for 1<<shift != lineSize {
+		shift++
+	}
+	return &SetAssoc{
+		lineSize:  uint64(lineSize),
+		sets:      sets,
+		ways:      ways,
+		lines:     make([]line, sets*ways),
+		lineShift: shift,
+	}
+}
+
+// NewDirectMapped builds a 1-way cache (the display cache organization).
+func NewDirectMapped(capacityBytes, lineSize int) *SetAssoc {
+	return NewSetAssoc(capacityBytes, lineSize, 1)
+}
+
+// LineSize returns the line size in bytes.
+func (c *SetAssoc) LineSize() int { return int(c.lineSize) }
+
+// CapacityBytes returns the data capacity.
+func (c *SetAssoc) CapacityBytes() int { return c.sets * c.ways * int(c.lineSize) }
+
+// Stats returns the event counters accumulated so far.
+func (c *SetAssoc) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without touching cache contents.
+func (c *SetAssoc) ResetStats() { c.stats = Stats{} }
+
+func (c *SetAssoc) set(addr uint64) (setIdx int, tag uint64) {
+	lineAddr := addr >> c.lineShift
+	return int(lineAddr & uint64(c.sets-1)), lineAddr / uint64(c.sets)
+}
+
+// AccessResult describes the outcome of one cache access.
+type AccessResult struct {
+	Hit           bool
+	Writeback     bool   // a dirty victim was evicted
+	WritebackAddr uint64 // line address of the dirty victim (valid if Writeback)
+}
+
+// Access looks up the line containing addr; on a miss the line is filled,
+// evicting the set's LRU way. write marks the line dirty.
+func (c *SetAssoc) Access(addr uint64, write bool) AccessResult {
+	setIdx, tag := c.set(addr)
+	base := setIdx * c.ways
+	c.tick++
+
+	victim := base
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			ln.lru = c.tick
+			if write {
+				ln.dirty = true
+			}
+			c.stats.Hits++
+			return AccessResult{Hit: true}
+		}
+		if !c.lines[victim].valid {
+			continue // keep first invalid way as victim
+		}
+		if !ln.valid || ln.lru < c.lines[victim].lru {
+			victim = base + w
+		}
+	}
+
+	c.stats.Misses++
+	res := AccessResult{}
+	v := &c.lines[victim]
+	if v.valid {
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.Writebacks++
+			res.Writeback = true
+			res.WritebackAddr = (v.tag*uint64(c.sets) + uint64(setIdx)) << c.lineShift
+		}
+	}
+	*v = line{tag: tag, valid: true, dirty: write, lru: c.tick}
+	return res
+}
+
+// Probe reports whether addr is resident without touching LRU state or stats.
+func (c *SetAssoc) Probe(addr uint64) bool {
+	setIdx, tag := c.set(addr)
+	base := setIdx * c.ways
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the line containing addr if resident, reporting whether it
+// was dirty.
+func (c *SetAssoc) Invalidate(addr uint64) (wasDirty bool) {
+	setIdx, tag := c.set(addr)
+	base := setIdx * c.ways
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			wasDirty = ln.dirty
+			*ln = line{}
+			return wasDirty
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line, returning the number of dirty lines dropped.
+func (c *SetAssoc) Flush() (dirty int) {
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			dirty++
+		}
+		c.lines[i] = line{}
+	}
+	return dirty
+}
+
+// LinesFor returns the distinct line-aligned addresses touched by the byte
+// range [addr, addr+size). This is where request fragmentation (§5) becomes
+// visible: a 48-byte mab fetch that straddles a line boundary produces two
+// memory requests.
+func (c *SetAssoc) LinesFor(addr, size uint64) []uint64 {
+	return LinesFor(addr, size, c.lineSize)
+}
+
+// LinesFor is the package-level helper for splitting a byte range into
+// line-aligned requests.
+func LinesFor(addr, size, lineSize uint64) []uint64 {
+	if size == 0 {
+		return nil
+	}
+	first := addr &^ (lineSize - 1)
+	last := (addr + size - 1) &^ (lineSize - 1)
+	n := (last-first)/lineSize + 1
+	out := make([]uint64, 0, n)
+	for a := first; a <= last; a += lineSize {
+		out = append(out, a)
+	}
+	return out
+}

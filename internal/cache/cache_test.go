@@ -1,0 +1,198 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewSetAssoc(0, 64, 4) },
+		func() { NewSetAssoc(1000, 64, 4) },   // not divisible
+		func() { NewSetAssoc(64*4*3, 64, 4) }, // 3 sets, not power of two
+		func() { NewSetAssoc(63*4*4, 63, 4) }, // line not power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on bad shape")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := NewSetAssoc(1024, 64, 4) // 4 sets
+	if res := c.Access(0, false); res.Hit {
+		t.Fatal("cold access hit")
+	}
+	if res := c.Access(0, false); !res.Hit {
+		t.Fatal("warm access missed")
+	}
+	if res := c.Access(32, false); !res.Hit {
+		t.Fatal("same-line access missed")
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.HitRate() != 2.0/3 {
+		t.Fatalf("hit rate = %v", s.HitRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := NewSetAssoc(2*64*2, 64, 2) // 2 sets, 2 ways
+	// Set 0 receives line addresses 0, 128, 256 (stride = sets*line = 128).
+	c.Access(0, false)
+	c.Access(128, false)
+	c.Access(0, false)   // touch 0, making 128 the LRU way
+	c.Access(256, false) // evicts 128
+	if !c.Probe(0) {
+		t.Fatal("line 0 should survive")
+	}
+	if c.Probe(128) {
+		t.Fatal("line 128 should be evicted")
+	}
+	if !c.Probe(256) {
+		t.Fatal("line 256 should be resident")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := NewSetAssoc(2*64*1, 64, 1) // direct-mapped, 2 sets
+	c.Access(0, true)               // dirty
+	res := c.Access(128, false)     // conflicts with set 0
+	if !res.Writeback {
+		t.Fatal("expected writeback of dirty victim")
+	}
+	if res.WritebackAddr != 0 {
+		t.Fatalf("writeback addr = %#x", res.WritebackAddr)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestInvalidateAndFlush(t *testing.T) {
+	c := NewDirectMapped(256, 64)
+	c.Access(0, true)
+	c.Access(64, false)
+	if !c.Invalidate(0) {
+		t.Fatal("line 0 was dirty")
+	}
+	if c.Probe(0) {
+		t.Fatal("line 0 still resident")
+	}
+	if c.Invalidate(0) {
+		t.Fatal("double invalidate reported dirty")
+	}
+	c.Access(128, true)
+	if dirty := c.Flush(); dirty != 1 {
+		t.Fatalf("flush dirty = %d", dirty)
+	}
+	if c.Probe(64) || c.Probe(128) {
+		t.Fatal("flush left lines resident")
+	}
+}
+
+func TestProbeDoesNotPerturb(t *testing.T) {
+	c := NewSetAssoc(2*64*2, 64, 2)
+	c.Access(0, false)
+	c.Access(128, false)
+	before := c.Stats()
+	c.Probe(0)
+	c.Probe(999999)
+	if c.Stats() != before {
+		t.Fatal("probe changed stats")
+	}
+	// Probing must not refresh LRU: 0 is still LRU, so inserting a third
+	// line evicts 0 despite the probe.
+	c.Access(128, false) // make 0 LRU
+	c.Probe(0)
+	c.Access(256, false)
+	if c.Probe(0) {
+		t.Fatal("probe refreshed LRU")
+	}
+}
+
+func TestFullyResidentWorkingSet(t *testing.T) {
+	// A working set equal to capacity must fully hit after one pass,
+	// regardless of access order (property over permutations).
+	f := func(seed int64) bool {
+		c := NewSetAssoc(4096, 64, 4)
+		rng := rand.New(rand.NewSource(seed))
+		addrs := make([]uint64, 64)
+		for i := range addrs {
+			addrs[i] = uint64(i * 64)
+		}
+		rng.Shuffle(len(addrs), func(i, j int) { addrs[i], addrs[j] = addrs[j], addrs[i] })
+		for _, a := range addrs {
+			c.Access(a, false)
+		}
+		for _, a := range addrs {
+			if !c.Access(a, false).Hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinesFor(t *testing.T) {
+	cases := []struct {
+		addr, size uint64
+		want       []uint64
+	}{
+		{0, 48, []uint64{0}},
+		{32, 48, []uint64{0, 64}}, // the paper's fragmentation case: 48B mab straddles a line
+		{64, 64, []uint64{64}},
+		{60, 8, []uint64{0, 64}},
+		{0, 0, nil},
+		{130, 200, []uint64{128, 192, 256, 320}},
+	}
+	for _, c := range cases {
+		got := LinesFor(c.addr, c.size, 64)
+		if len(got) != len(c.want) {
+			t.Errorf("LinesFor(%d,%d) = %v want %v", c.addr, c.size, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("LinesFor(%d,%d) = %v want %v", c.addr, c.size, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestMissRateDropsWithCapacity(t *testing.T) {
+	// Larger caches must not have higher miss rates on a looping stream —
+	// the Fig 7a sweep depends on this monotonicity for the compute phase.
+	stream := make([]uint64, 0, 4000)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 4000; i++ {
+		stream = append(stream, uint64(rng.Intn(512))*64) // 32KB working set
+	}
+	prev := 1.1
+	for _, kb := range []int{8, 16, 32, 64} {
+		c := NewSetAssoc(kb*1024, 64, 4)
+		for _, a := range stream {
+			c.Access(a, false)
+		}
+		mr := c.Stats().MissRate()
+		if mr > prev+1e-9 {
+			t.Fatalf("miss rate rose with capacity: %v at %dKB (prev %v)", mr, kb, prev)
+		}
+		prev = mr
+	}
+}

@@ -1,0 +1,164 @@
+package codec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BitWriter packs bits MSB-first into a byte slice. It is the entropy-coder
+// substrate; the decoder-IP timing model charges work per bit parsed.
+type BitWriter struct {
+	buf  []byte
+	cur  byte
+	nCur uint // bits used in cur
+	bits int64
+}
+
+// NewBitWriter returns an empty writer.
+func NewBitWriter() *BitWriter { return &BitWriter{} }
+
+// WriteBit appends one bit.
+func (w *BitWriter) WriteBit(b uint32) {
+	w.cur = w.cur<<1 | byte(b&1)
+	w.nCur++
+	w.bits++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first. n <= 32.
+func (w *BitWriter) WriteBits(v uint32, n uint) {
+	if n > 32 {
+		panic("codec: WriteBits n > 32")
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(v >> uint(i))
+	}
+}
+
+// WriteUE appends v as an unsigned Exp-Golomb code (as in H.264 ue(v)).
+func (w *BitWriter) WriteUE(v uint32) {
+	x := uint64(v) + 1
+	n := uint(0)
+	for t := x; t > 1; t >>= 1 {
+		n++
+	}
+	for i := uint(0); i < n; i++ {
+		w.WriteBit(0)
+	}
+	for i := int(n); i >= 0; i-- {
+		w.WriteBit(uint32(x >> uint(i)))
+	}
+}
+
+// WriteSE appends v as a signed Exp-Golomb code (se(v) mapping).
+func (w *BitWriter) WriteSE(v int32) {
+	var u uint32
+	if v > 0 {
+		u = uint32(v)*2 - 1
+	} else {
+		u = uint32(-v) * 2
+	}
+	w.WriteUE(u)
+}
+
+// Bits returns the number of bits written so far.
+func (w *BitWriter) Bits() int64 { return w.bits }
+
+// Bytes flushes the partial byte (zero-padded) and returns the buffer. The
+// writer remains usable; further writes continue bit-exact after the pad is
+// dropped on the next flush.
+func (w *BitWriter) Bytes() []byte {
+	out := make([]byte, len(w.buf), len(w.buf)+1)
+	copy(out, w.buf)
+	if w.nCur > 0 {
+		out = append(out, w.cur<<(8-w.nCur))
+	}
+	return out
+}
+
+// ErrBitstream is returned when a reader runs past the end of the stream or
+// decodes a malformed code.
+var ErrBitstream = errors.New("codec: malformed or truncated bitstream")
+
+// BitReader consumes bits MSB-first from a byte slice.
+type BitReader struct {
+	buf  []byte
+	pos  int  // byte position
+	nCur uint // bits consumed from buf[pos]
+	bits int64
+}
+
+// NewBitReader wraps data for reading.
+func NewBitReader(data []byte) *BitReader { return &BitReader{buf: data} }
+
+// ReadBit consumes one bit.
+func (r *BitReader) ReadBit() (uint32, error) {
+	if r.pos >= len(r.buf) {
+		return 0, ErrBitstream
+	}
+	b := (r.buf[r.pos] >> (7 - r.nCur)) & 1
+	r.nCur++
+	r.bits++
+	if r.nCur == 8 {
+		r.nCur = 0
+		r.pos++
+	}
+	return uint32(b), nil
+}
+
+// ReadBits consumes n bits (n <= 32) and returns them right-aligned.
+func (r *BitReader) ReadBits(n uint) (uint32, error) {
+	if n > 32 {
+		panic("codec: ReadBits n > 32")
+	}
+	var v uint32
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | b
+	}
+	return v, nil
+}
+
+// ReadUE consumes an unsigned Exp-Golomb code.
+func (r *BitReader) ReadUE() (uint32, error) {
+	n := uint(0)
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		n++
+		if n > 32 {
+			return 0, fmt.Errorf("%w: ue prefix too long", ErrBitstream)
+		}
+	}
+	rest, err := r.ReadBits(n)
+	if err != nil {
+		return 0, err
+	}
+	return uint32((uint64(1)<<n | uint64(rest)) - 1), nil
+}
+
+// ReadSE consumes a signed Exp-Golomb code.
+func (r *BitReader) ReadSE() (int32, error) {
+	u, err := r.ReadUE()
+	if err != nil {
+		return 0, err
+	}
+	if u%2 == 1 {
+		return int32(u/2 + 1), nil
+	}
+	return -int32(u / 2), nil
+}
+
+// BitsRead returns the number of bits consumed so far.
+func (r *BitReader) BitsRead() int64 { return r.bits }

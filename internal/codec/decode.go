@@ -1,0 +1,179 @@
+package codec
+
+import "fmt"
+
+// Decoder reconstructs frames from the encoder's decode-order stream and
+// reports the per-mab work performed, which the decoder-IP model turns into
+// cycles and memory traffic.
+type Decoder struct {
+	p Params
+
+	// Anchor reconstructions: olderAnchor < newerAnchor in display order.
+	// A B frame between them uses older as backward and newer as forward
+	// reference; a P frame references the newest anchor.
+	olderAnchor   *Frame
+	newerAnchor   *Frame
+	olderAnchorIx int
+	newerAnchorIx int
+
+	scratch decScratch
+}
+
+type decScratch struct {
+	pred  []byte
+	resid []int32
+}
+
+// NewDecoder returns a decoder for p, or an error for invalid parameters.
+func NewDecoder(p Params) (*Decoder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Decoder{
+		p:             p,
+		olderAnchorIx: -1,
+		newerAnchorIx: -1,
+		scratch: decScratch{
+			pred:  make([]byte, p.MabBytes()),
+			resid: make([]int32, p.MabSize*p.MabSize),
+		},
+	}, nil
+}
+
+// Params returns the decoder configuration.
+func (d *Decoder) Params() Params { return d.p }
+
+// Decode reconstructs one encoded frame, returning the decoded image and the
+// work report. Frames must be presented in decode order.
+func (d *Decoder) Decode(ef *EncodedFrame) (*Frame, *FrameWork, error) {
+	p := d.p
+	n := p.MabSize
+	r := NewBitReader(ef.Data)
+
+	ftRaw, err := r.ReadUE()
+	if err != nil {
+		return nil, nil, err
+	}
+	ft := FrameType(ftRaw)
+	idxRaw, err := r.ReadUE()
+	if err != nil {
+		return nil, nil, err
+	}
+	idx := int(idxRaw)
+	quantRaw, err := r.ReadUE()
+	if err != nil {
+		return nil, nil, err
+	}
+	quant := int32(quantRaw)
+	if quant < 1 {
+		return nil, nil, fmt.Errorf("%w: quant %d", ErrBitstream, quant)
+	}
+
+	var back, fwd *Frame
+	switch ft {
+	case FrameI:
+		// self-contained
+	case FrameP:
+		back = d.newerAnchor
+		if back == nil {
+			return nil, nil, fmt.Errorf("%w: P frame %d without reference", ErrBitstream, idx)
+		}
+	case FrameB:
+		back, fwd = d.olderAnchor, d.newerAnchor
+		if back == nil || fwd == nil {
+			return nil, nil, fmt.Errorf("%w: B frame %d without two references", ErrBitstream, idx)
+		}
+	default:
+		return nil, nil, fmt.Errorf("%w: frame type %d", ErrBitstream, ftRaw)
+	}
+
+	recon := NewFrame(p.Width, p.Height)
+	work := &FrameWork{
+		Type:         ft,
+		DisplayIndex: idx,
+		Mabs:         make([]MabWork, 0, p.MabsPerFrame()),
+	}
+
+	for y0 := 0; y0 < p.Height; y0 += n {
+		for x0 := 0; x0 < p.Width; x0 += n {
+			bitsBefore := r.BitsRead()
+			mtRaw, err := r.ReadUE()
+			if err != nil {
+				return nil, nil, err
+			}
+			mt := MabType(mtRaw)
+			mw := MabWork{Type: mt}
+
+			switch mt {
+			case MabI:
+				modeRaw, err := r.ReadUE()
+				if err != nil {
+					return nil, nil, err
+				}
+				mw.Mode = IntraMode(modeRaw)
+				IntraPredict(recon, x0, y0, n, mw.Mode, d.scratch.pred)
+				work.CountI++
+			case MabP:
+				dx, err := r.ReadSE()
+				if err != nil {
+					return nil, nil, err
+				}
+				dy, err := r.ReadSE()
+				if err != nil {
+					return nil, nil, err
+				}
+				ref := back
+				if ref == nil {
+					return nil, nil, fmt.Errorf("%w: P mab without reference", ErrBitstream)
+				}
+				mw.MV = MotionVector{DX: int8(dx), DY: int8(dy)}
+				mw.RefReads = 1
+				Compensate(ref, x0, y0, n, mw.MV, d.scratch.pred)
+				work.CountP++
+			case MabB:
+				var vals [4]int32
+				for i := range vals {
+					v, err := r.ReadSE()
+					if err != nil {
+						return nil, nil, err
+					}
+					vals[i] = v
+				}
+				if back == nil || fwd == nil {
+					return nil, nil, fmt.Errorf("%w: B mab outside a B frame", ErrBitstream)
+				}
+				mw.MVB = MotionVector{DX: int8(vals[0]), DY: int8(vals[1])}
+				mw.MVF = MotionVector{DX: int8(vals[2]), DY: int8(vals[3])}
+				mw.RefReads = 2
+				CompensateBi(back, fwd, x0, y0, n, mw.MVB, mw.MVF, d.scratch.pred)
+				work.CountB++
+			default:
+				return nil, nil, fmt.Errorf("%w: mab type %d", ErrBitstream, mtRaw)
+			}
+
+			for c := 0; c < 3; c++ {
+				nz, err := DecodeCoeffs(r, d.scratch.resid, n)
+				if err != nil {
+					return nil, nil, err
+				}
+				mw.Nonzero += int16(nz)
+				Dequantize(d.scratch.resid, quant)
+				InverseTransform(d.scratch.resid, n)
+				for i := 0; i < n*n; i++ {
+					d.scratch.pred[i*3+c] = clampByte(int32(d.scratch.pred[i*3+c]) + d.scratch.resid[i])
+				}
+			}
+			recon.SetBlock(x0, y0, n, d.scratch.pred)
+
+			mw.Bits = int32(r.BitsRead() - bitsBefore)
+			work.Mabs = append(work.Mabs, mw)
+		}
+	}
+	work.TotalBits = r.BitsRead()
+
+	if ft != FrameB {
+		d.olderAnchor, d.olderAnchorIx = d.newerAnchor, d.newerAnchorIx
+		d.newerAnchor, d.newerAnchorIx = recon, idx
+	}
+	return recon, work, nil
+}

@@ -1,0 +1,186 @@
+package codec
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEncodeDecodeMabSizes runs the full codec loop at every supported mab
+// size (the Fig 12c sweep depends on all of them decoding correctly).
+func TestEncodeDecodeMabSizes(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		p := DefaultParams(32, 32)
+		p.MabSize = n
+		p.Quant = 1
+		enc, err := NewEncoder(p)
+		if err != nil {
+			t.Fatalf("mab %d: %v", n, err)
+		}
+		dec, err := NewDecoder(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			src := gradientFrame(32, 32, i*3)
+			efs, err := enc.Push(src)
+			if err != nil {
+				t.Fatalf("mab %d: %v", n, err)
+			}
+			for _, ef := range efs {
+				got, work, err := dec.Decode(ef)
+				if err != nil {
+					t.Fatalf("mab %d: %v", n, err)
+				}
+				if !math.IsInf(PSNR(src, got), 1) {
+					t.Fatalf("mab %d frame %d not lossless at quant=1", n, i)
+				}
+				if len(work.Mabs) != (32/n)*(32/n) {
+					t.Fatalf("mab %d: %d works", n, len(work.Mabs))
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizerQualityMonotonic: coarser quantizers must not improve PSNR
+// and must not grow the bitstream.
+func TestQuantizerQualityMonotonic(t *testing.T) {
+	src := gradientFrame(64, 32, 1)
+	prevPSNR := math.Inf(1)
+	prevBits := int64(1 << 62)
+	for _, q := range []int32{1, 4, 8, 16, 32} {
+		p := DefaultParams(64, 32)
+		p.Quant = q
+		enc, _ := NewEncoder(p)
+		dec, _ := NewDecoder(p)
+		efs, err := enc.Push(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, work, err := dec.Decode(efs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := PSNR(src, got)
+		if ps > prevPSNR+0.01 {
+			t.Fatalf("quant %d: PSNR %.1f rose above %.1f", q, ps, prevPSNR)
+		}
+		// Bits shrink with coarser quant up to closed-loop prediction
+		// noise (coarser reconstructions can worsen later predictions).
+		if float64(work.TotalBits) > 1.15*float64(prevBits) {
+			t.Fatalf("quant %d: bits %d grew well above %d", q, work.TotalBits, prevBits)
+		}
+		prevPSNR, prevBits = ps, work.TotalBits
+	}
+}
+
+// TestEncoderFlushBFrames: trailing B candidates at stream end must degrade
+// to single-reference frames and still decode.
+func TestEncoderFlushBFrames(t *testing.T) {
+	p := DefaultParams(16, 16)
+	p.BFrames = 2
+	p.Quant = 1
+	enc, _ := NewEncoder(p)
+	dec, _ := NewDecoder(p)
+	var decoded int
+	for i := 0; i < 4; i++ { // anchors at 0 and 3; frames 1,2 buffered
+		efs, err := enc.Push(gradientFrame(16, 16, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ef := range efs {
+			if _, _, err := dec.Decode(ef); err != nil {
+				t.Fatal(err)
+			}
+			decoded++
+		}
+	}
+	// Push one more so frame 4 is buffered, then flush.
+	efs, err := enc.Push(gradientFrame(16, 16, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ef := range efs {
+		if _, _, err := dec.Decode(ef); err != nil {
+			t.Fatal(err)
+		}
+		decoded++
+	}
+	flushed, err := enc.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ef := range flushed {
+		if ef.Type == FrameB {
+			t.Fatal("flushed frames must not be B (no forward anchor)")
+		}
+		if _, _, err := dec.Decode(ef); err != nil {
+			t.Fatalf("flushed frame: %v", err)
+		}
+		decoded++
+	}
+	if decoded != 5 {
+		t.Fatalf("decoded %d of 5", decoded)
+	}
+}
+
+// TestBitstreamSizeTracksContent: noisy content must cost more bits than
+// flat content — the property the decode-time model rides on.
+func TestBitstreamSizeTracksContent(t *testing.T) {
+	flat := NewFrame(64, 32)
+	for i := range flat.Pix {
+		flat.Pix[i] = 80
+	}
+	noisy := NewFrame(64, 32)
+	seed := uint32(12345)
+	for i := range noisy.Pix {
+		seed = seed*1664525 + 1013904223
+		noisy.Pix[i] = byte(seed >> 24)
+	}
+	size := func(f *Frame) int {
+		p := DefaultParams(64, 32)
+		enc, _ := NewEncoder(p)
+		efs, err := enc.Push(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return efs[0].SizeBytes()
+	}
+	sf, sn := size(flat), size(noisy)
+	if sn < 8*sf {
+		t.Fatalf("noisy frame %dB should dwarf flat %dB", sn, sf)
+	}
+}
+
+// TestDecoderWorkCountsConsistent: per-frame work counts must sum to the
+// mab count and agree with the frame type.
+func TestDecoderWorkCountsConsistent(t *testing.T) {
+	p := DefaultParams(32, 16)
+	enc, _ := NewEncoder(p)
+	dec, _ := NewDecoder(p)
+	for i := 0; i < 6; i++ {
+		efs, err := enc.Push(gradientFrame(32, 16, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ef := range efs {
+			_, work, err := dec.Decode(ef)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if work.CountI+work.CountP+work.CountB != len(work.Mabs) {
+				t.Fatalf("counts %d+%d+%d != %d", work.CountI, work.CountP, work.CountB, len(work.Mabs))
+			}
+			if ef.Type == FrameI && (work.CountP != 0 || work.CountB != 0) {
+				t.Fatal("I frames must be all-intra")
+			}
+			var bits int64
+			for _, m := range work.Mabs {
+				bits += int64(m.Bits)
+			}
+			if bits > work.TotalBits {
+				t.Fatalf("mab bits %d exceed frame total %d", bits, work.TotalBits)
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package codec
+
+// Motion estimation and compensation for P/B mabs. P mabs carry a motion
+// vector into the previous reference frame; B mabs predict as the average of
+// a backward and a forward reference block (§2.2 footnote 1).
+
+// MotionVector is a full-pixel displacement into a reference frame.
+type MotionVector struct {
+	DX, DY int8
+}
+
+// MotionSearch finds the displacement within +/- radius (full search over a
+// small window, as hardware estimators do at coarse level) that minimizes
+// SAD against src for the block at (x0, y0) in ref. It returns the best
+// vector and its SAD. The zero vector is evaluated first, so static content
+// yields MV (0,0) deterministically.
+func MotionSearch(ref *Frame, x0, y0, size, radius int, src []byte) (MotionVector, int) {
+	cand := make([]byte, size*size*BytesPerPixel)
+	ref.CopyBlock(x0, y0, size, cand)
+	best := MotionVector{}
+	bestSAD := SAD(src, cand)
+	if bestSAD == 0 {
+		return best, 0
+	}
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			ref.CopyBlock(x0+dx, y0+dy, size, cand)
+			if sad := SAD(src, cand); sad < bestSAD {
+				bestSAD = sad
+				best = MotionVector{DX: int8(dx), DY: int8(dy)}
+				if bestSAD == 0 {
+					return best, 0
+				}
+			}
+		}
+	}
+	return best, bestSAD
+}
+
+// Compensate fills dst with the motion-compensated prediction: the block at
+// (x0+mv.DX, y0+mv.DY) in ref.
+func Compensate(ref *Frame, x0, y0, size int, mv MotionVector, dst []byte) {
+	ref.CopyBlock(x0+int(mv.DX), y0+int(mv.DY), size, dst)
+}
+
+// CompensateBi fills dst with the rounded average of predictions from two
+// reference frames, as used by B mabs.
+func CompensateBi(back, fwd *Frame, x0, y0, size int, mvb, mvf MotionVector, dst []byte) {
+	tmp := make([]byte, len(dst))
+	Compensate(back, x0, y0, size, mvb, dst)
+	Compensate(fwd, x0, y0, size, mvf, tmp)
+	for i := range dst {
+		dst[i] = byte((int(dst[i]) + int(tmp[i]) + 1) / 2)
+	}
+}

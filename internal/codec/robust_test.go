@@ -1,0 +1,95 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestDecoderSurvivesGarbage feeds random bytes to the decoder: every input
+// must produce a clean error or a frame — never a panic and never a hang.
+func TestDecoderSurvivesGarbage(t *testing.T) {
+	p := DefaultParams(16, 16)
+	rng := rand.New(rand.NewSource(99))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			dec, _ := NewDecoder(p)
+			data := make([]byte, rng.Intn(200))
+			rng.Read(data)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("iteration %d: decoder panicked: %v", i, r)
+					}
+				}()
+				_, _, _ = dec.Decode(&EncodedFrame{Data: data})
+			}()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("decoder hung on garbage input")
+	}
+}
+
+// TestDecoderSurvivesBitflips corrupts valid bitstreams one bit at a time:
+// the decoder must either error or produce a (possibly wrong) frame, but
+// state for subsequent valid frames must not corrupt the process.
+func TestDecoderSurvivesBitflips(t *testing.T) {
+	p := DefaultParams(16, 16)
+	p.Quant = 1
+	enc, _ := NewEncoder(p)
+	efs, err := enc.Push(gradientFrame(16, 16, 1))
+	if err != nil || len(efs) != 1 {
+		t.Fatal(err)
+	}
+	orig := efs[0].Data
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		data := make([]byte, len(orig))
+		copy(data, orig)
+		bit := rng.Intn(len(data) * 8)
+		data[bit/8] ^= 1 << (bit % 8)
+		dec, _ := NewDecoder(p)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("bitflip %d: panic: %v", bit, r)
+				}
+			}()
+			_, _, _ = dec.Decode(&EncodedFrame{Data: data})
+		}()
+	}
+}
+
+// TestEncoderDeterministic: two encoders over the same input produce
+// byte-identical streams (the trace-replay methodology depends on it).
+func TestEncoderDeterministic(t *testing.T) {
+	p := DefaultParams(32, 16)
+	run := func() []byte {
+		enc, _ := NewEncoder(p)
+		var out []byte
+		for i := 0; i < 3; i++ {
+			efs, err := enc.Push(gradientFrame(32, 16, i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ef := range efs {
+				out = append(out, ef.Data...)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams differ at byte %d", i)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package codec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestYUVPixelRoundTrip(t *testing.T) {
+	f := func(r, g, b byte) bool {
+		y, u, v := rgbToYUV(r, g, b)
+		r2, g2, b2 := yuvToRGB(y, u, v)
+		// Fixed-point BT.601 round trip is within a few levels.
+		d := func(a, b byte) int {
+			x := int(a) - int(b)
+			if x < 0 {
+				x = -x
+			}
+			return x
+		}
+		return d(r, r2) <= 4 && d(g, g2) <= 4 && d(b, b2) <= 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreyIsNeutralChroma(t *testing.T) {
+	for _, v := range []byte{0, 64, 128, 200, 255} {
+		y, u, cv := rgbToYUV(v, v, v)
+		if int(u)-128 < -2 || int(u)-128 > 2 || int(cv)-128 < -2 || int(cv)-128 > 2 {
+			t.Fatalf("grey %d chroma = %d/%d", v, u, cv)
+		}
+		if int(y)-int(v) < -2 || int(y)-int(v) > 2 {
+			t.Fatalf("grey %d luma = %d", v, y)
+		}
+	}
+}
+
+func TestYUV444FrameRoundTrip(t *testing.T) {
+	f := gradientFrame(32, 16, 3)
+	back := FromYUV444(ToYUV444(f))
+	if p := PSNR(f, back); p < 40 {
+		t.Fatalf("YUV444 round-trip PSNR = %.1f dB", p)
+	}
+}
+
+func TestYUV420RoundTrip(t *testing.T) {
+	f := gradientFrame(32, 16, 5)
+	p := ToYUV420(f)
+	if p.SizeBytes() != 32*16*3/2 {
+		t.Fatalf("planar size = %d want %d", p.SizeBytes(), 32*16*3/2)
+	}
+	back := FromYUV420(p)
+	// Chroma subsampling is lossy but smooth gradients survive well.
+	if ps := PSNR(f, back); ps < 30 {
+		t.Fatalf("YUV420 round-trip PSNR = %.1f dB", ps)
+	}
+}
+
+func TestYUV420FlatIsExactish(t *testing.T) {
+	f := NewFrame(16, 16)
+	for i := 0; i < len(f.Pix); i += 3 {
+		f.Pix[i], f.Pix[i+1], f.Pix[i+2] = 90, 140, 60
+	}
+	back := FromYUV420(ToYUV420(f))
+	var worst float64
+	for i := range f.Pix {
+		d := math.Abs(float64(int(f.Pix[i]) - int(back.Pix[i])))
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 4 {
+		t.Fatalf("flat colour error = %v levels", worst)
+	}
+}
+
+func TestYUV420OddDimensionsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd dimensions should panic")
+		}
+	}()
+	f := &Frame{W: 15, H: 16, Pix: make([]byte, 15*16*3)}
+	ToYUV420(f)
+}
+
+func TestFlatYUVStaysFlat(t *testing.T) {
+	// The colour-space generality claim (§4): a flat RGB region converts
+	// to a flat YUV region, so zero-gradient gab matching survives the
+	// colour-space change.
+	f := NewFrame(8, 8)
+	for i := 0; i < len(f.Pix); i += 3 {
+		f.Pix[i], f.Pix[i+1], f.Pix[i+2] = 10, 200, 90
+	}
+	y := ToYUV444(f)
+	for i := 3; i < len(y.Pix); i++ {
+		if y.Pix[i] != y.Pix[i%3] {
+			t.Fatal("flat RGB must convert to flat YUV")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"mach/internal/decoder"
+	"mach/internal/display"
+	"mach/internal/dram"
+	"mach/internal/energy"
+	"mach/internal/mach"
+	"mach/internal/power"
+	"mach/internal/soc"
+)
+
+// Config carries every substrate's configuration for a pipeline run. The
+// zero value is unusable; start from DefaultConfig.
+type Config struct {
+	Decoder decoder.Config
+	Display display.Config
+	DRAM    dram.Config
+	Power   power.Config
+	Mach    mach.Config // template; the scheme overrides mode/layout fields
+	SRAM    energy.SRAMConfig
+	// Traffic is the background SoC memory load (CPU/GPU/radios). The
+	// zero value disables it; experiments that study contention enable it.
+	Traffic soc.TrafficConfig
+
+	// DisplayLatencyFrames is the fixed latency between a frame's release
+	// to the decoder and its scan-out tick: 1 reproduces the paper's
+	// baseline (a frame released every 16 ms must decode within one
+	// period or the display repeats the previous frame). Streams with B
+	// frames get one extra period for decode-order reordering.
+	DisplayLatencyFrames int
+
+	// BaseBuffers is the frame-buffer count the baseline pipeline assumes
+	// (3 = triple buffering, §2.1); batching and MACH retention grow the
+	// pool beyond it, which Fig 12a measures.
+	BaseBuffers int
+
+	// CollectFrameSamples records per-frame decode time and energy samples
+	// for CDF plots; disable for large sweeps to save memory.
+	CollectFrameSamples bool
+}
+
+// DefaultConfig returns the Table 2 platform with the calibrated cost
+// constants (see EXPERIMENTS.md for the calibration note).
+func DefaultConfig() Config {
+	return Config{
+		Decoder:              decoder.DefaultConfig(),
+		Display:              display.DefaultConfig(),
+		DRAM:                 dram.DefaultConfig(),
+		Power:                power.DefaultConfig(),
+		Mach:                 mach.DefaultConfig(),
+		SRAM:                 energy.DefaultSRAM(),
+		DisplayLatencyFrames: 1,
+		BaseBuffers:          3,
+		CollectFrameSamples:  true,
+	}
+}
+
+// Validate reports malformed configurations.
+func (c Config) Validate() error {
+	if err := c.Decoder.Validate(); err != nil {
+		return err
+	}
+	if err := c.Display.Validate(); err != nil {
+		return err
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	if err := c.Power.Validate(); err != nil {
+		return err
+	}
+	if err := c.Mach.Validate(); err != nil {
+		return err
+	}
+	if c.DisplayLatencyFrames < 1 || c.DisplayLatencyFrames > 16 {
+		return fmt.Errorf("core: display latency %d outside [1,16]", c.DisplayLatencyFrames)
+	}
+	if c.BaseBuffers < 2 {
+		return fmt.Errorf("core: base buffers %d < 2", c.BaseBuffers)
+	}
+	if err := c.Traffic.Validate(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mach/internal/cache"
+	"mach/internal/decoder"
+	"mach/internal/display"
+	"mach/internal/dram"
+	"mach/internal/energy"
+	"mach/internal/mach"
+	"mach/internal/power"
+	"mach/internal/sim"
+	"mach/internal/stats"
+)
+
+// Result is everything one pipeline run measured.
+type Result struct {
+	Scheme   Scheme
+	Workload string
+	Frames   int
+	Drops    int64
+
+	// WallTime spans first decode start to last scan-out end.
+	WallTime sim.Time
+
+	// Energy is the nine-part Fig 11 split, in joules.
+	Energy *stats.Breakdown
+
+	// Decoder residency over the wall time.
+	BusyTime  sim.Time
+	IdleTime  sim.Time
+	S1Time    sim.Time
+	S3Time    sim.Time
+	TransTime sim.Time
+
+	Transitions int64
+
+	// Per-frame decode times in seconds (Region analysis, Fig 2 CDFs);
+	// populated when Config.CollectFrameSamples is set.
+	FrameTimes *stats.Sample
+	// Per-frame decoder energy in joules (busy portion only).
+	FrameEnergies *stats.Sample
+
+	// PoolHighWater is the peak number of simultaneously live frame
+	// buffers (Fig 12a measures it against triple buffering).
+	PoolHighWater int
+
+	Mem       dram.Stats
+	MemEnergy dram.Energy
+	Dec       decoder.Stats
+	DecCache  cache.Stats
+	Disp      display.Stats
+	Mach      mach.Stats
+	Ledger    *power.Ledger
+}
+
+// TotalEnergy returns the run's total energy in joules.
+func (r *Result) TotalEnergy() float64 { return r.Energy.Total() }
+
+// EnergyPerFrame returns joules per trace frame.
+func (r *Result) EnergyPerFrame() float64 {
+	if r.Frames == 0 {
+		return 0
+	}
+	return r.TotalEnergy() / float64(r.Frames)
+}
+
+// DropRate returns dropped refreshes per frame.
+func (r *Result) DropRate() float64 {
+	if r.Frames == 0 {
+		return 0
+	}
+	return float64(r.Drops) / float64(r.Frames)
+}
+
+// S3Residency returns the fraction of wall time the decoder spent in deep
+// sleep (the paper's "in deep sleep ~60% of the time" headline).
+func (r *Result) S3Residency() float64 {
+	if r.WallTime <= 0 {
+		return 0
+	}
+	return float64(r.S3Time) / float64(r.WallTime)
+}
+
+// NormalizedTo returns this run's energy relative to a baseline run.
+func (r *Result) NormalizedTo(base *Result) float64 {
+	be := base.TotalEnergy()
+	if be == 0 {
+		return 0
+	}
+	return r.TotalEnergy() / be
+}
+
+// String renders a compact single-run report.
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s on %s: %d frames, %d drops (%.1f%%)\n",
+		r.Scheme.Name, r.Workload, r.Frames, r.Drops, 100*r.DropRate())
+	fmt.Fprintf(&sb, "  energy: %.2f mJ/frame  S3 residency %.1f%%  transitions %d\n",
+		1e3*r.EnergyPerFrame(), 100*r.S3Residency(), r.Transitions)
+	t := r.TotalEnergy()
+	for _, k := range energy.Components() {
+		v := r.Energy.Get(k)
+		if t > 0 {
+			fmt.Fprintf(&sb, "  %-15s %8.2f mJ (%5.1f%%)\n", k, 1e3*v, 100*v/t)
+		}
+	}
+	fmt.Fprintf(&sb, "  mem: %d accesses, row-hit %.1f%%  pool high-water %d buffers\n",
+		r.Mem.Accesses(), 100*r.Mem.RowHitRate(), r.PoolHighWater)
+	if r.Scheme.Mach != MachOff {
+		fmt.Fprintf(&sb, "  mach: match %.1f%% (intra %d, inter %d), savings %.1f%%\n",
+			100*r.Mach.MatchRate(), r.Mach.IntraMatches, r.Mach.InterMatches, 100*r.Mach.Savings())
+	}
+	return sb.String()
+}
+
+// RegionCounts classifies per-frame decode times into the paper's Regions
+// I-IV (§2.2) for a frame period and power configuration: dropped frames,
+// short-slack frames, S1-only frames, and S3-capable frames.
+type RegionCounts struct {
+	I, II, III, IV int
+}
+
+// Regions computes the Region I-IV classification of the run's frame times.
+func (r *Result) Regions(period sim.Time, pcfg power.Config) RegionCounts {
+	var rc RegionCounts
+	if r.FrameTimes == nil {
+		return rc
+	}
+	beS1 := pcfg.BreakEven(power.S1)
+	beS3 := pcfg.BreakEven(power.S3)
+	for _, sec := range r.FrameTimes.Values() {
+		d := sim.FromSeconds(sec)
+		slack := period - d
+		switch {
+		case slack < 0:
+			rc.I++
+		case slack < beS1:
+			rc.II++
+		case slack < beS3:
+			rc.III++
+		default:
+			rc.IV++
+		}
+	}
+	return rc
+}

@@ -1,0 +1,151 @@
+// Package core wires every substrate into the end-to-end video pipeline of
+// the paper and implements the six schemes of Fig 11: Baseline, Batching,
+// Racing, Race-to-Sleep, Race-to-Sleep+MAB, and Race-to-Sleep+GAB.
+//
+// A run replays a decode trace (package trace) through the timing and energy
+// models: the decoder IP decodes frames (batched and/or raced per scheme),
+// the MACH engine rewrites the frame-buffer layout, the display controller
+// scans frames out through its content caches, and the DRAM model prices
+// every memory transaction. The result carries the nine-part energy split,
+// the frame-time distribution (Regions I-IV), drop counts, sleep residency,
+// and every substrate's counters.
+package core
+
+import "fmt"
+
+// MachMode selects the content-caching scheme.
+type MachMode int
+
+const (
+	// MachOff disables content caching (raw frame-buffer layout).
+	MachOff MachMode = iota
+	// MachMAB deduplicates exact macroblocks (§4.2).
+	MachMAB
+	// MachGAB deduplicates gradient blocks (§4.3).
+	MachGAB
+)
+
+func (m MachMode) String() string {
+	switch m {
+	case MachOff:
+		return "off"
+	case MachMAB:
+		return "mab"
+	case MachGAB:
+		return "gab"
+	default:
+		return fmt.Sprintf("MachMode(%d)", int(m))
+	}
+}
+
+// Scheme is one point in the paper's design space.
+type Scheme struct {
+	Name string
+	// Batch is the number of frames decoded back-to-back before the
+	// decoder considers sleeping (§3.1). 1 disables batching.
+	Batch int
+	// Race runs the decoder at the high DVFS point (§3.2).
+	Race bool
+	// Mach selects content caching at the decoder (§4).
+	Mach MachMode
+	// DisplayOpt enables the display-side optimizations (§5): the
+	// pointer+digest layout, the display cache and the MACH buffer. Only
+	// meaningful with Mach enabled.
+	DisplayOpt bool
+
+	// BatchPattern, when non-empty, overrides Batch with a cyclic sequence
+	// of batch sizes — modelling §3.3's adaptive batching, where the
+	// decoder races through however many frames the bursty network has
+	// buffered. Batch must still be set to the pattern's maximum (it sizes
+	// the frame-buffer pool).
+	BatchPattern []int
+
+	// SlackPredict selects the related-work comparator the paper contrasts
+	// against (§7, history-based slack prediction / low-power decoding
+	// [57, 66]): the decoder predicts each frame's decode time from an
+	// EWMA of recent frames and only boosts the frequency when the
+	// prediction would miss the deadline. Mispredictions on unpredictable
+	// frames (scene cuts, big I frames) are exactly what causes its frame
+	// drops. Mutually exclusive with Race.
+	SlackPredict bool
+}
+
+// Validate reports malformed schemes.
+func (s Scheme) Validate() error {
+	if s.Batch < 1 || s.Batch > 64 {
+		return fmt.Errorf("core: batch %d outside [1,64]", s.Batch)
+	}
+	if s.DisplayOpt && s.Mach == MachOff {
+		return fmt.Errorf("core: display optimization requires MACH")
+	}
+	for _, b := range s.BatchPattern {
+		if b < 1 || b > s.Batch {
+			return fmt.Errorf("core: batch pattern entry %d outside [1,%d]", b, s.Batch)
+		}
+	}
+	if s.SlackPredict && s.Race {
+		return fmt.Errorf("core: SlackPredict and Race are mutually exclusive")
+	}
+	return nil
+}
+
+// SlackPredictive returns the §7 comparator: per-frame DVFS driven by a
+// history-based decode-time prediction instead of racing.
+func SlackPredictive() Scheme {
+	return Scheme{Name: "SlackPredict", Batch: 1, SlackPredict: true}
+}
+
+// AdaptiveBatching models bursty buffering: the decoder batches whatever
+// the network delivered, cycling through pattern (§3.3). maxBatch sizes the
+// buffer pool.
+func AdaptiveBatching(maxBatch int, pattern []int) Scheme {
+	return Scheme{Name: "Adaptive", Batch: maxBatch, Race: true, BatchPattern: pattern}
+}
+
+// The paper's six schemes (Fig 11), with the default 8-frame batch the
+// hardware-overhead discussion of §6.3 assumes.
+
+// Baseline returns the no-batch, no-race, no-MACH scheme ("L").
+func Baseline() Scheme { return Scheme{Name: "Baseline", Batch: 1} }
+
+// Batching returns batch-only decoding ("B").
+func Batching(n int) Scheme { return Scheme{Name: "Batching", Batch: n} }
+
+// Racing returns frequency-boost-only decoding ("R").
+func Racing() Scheme { return Scheme{Name: "Racing", Batch: 1, Race: true} }
+
+// RaceToSleep combines batching and racing ("S", §3.3).
+func RaceToSleep(n int) Scheme { return Scheme{Name: "Race-to-Sleep", Batch: n, Race: true} }
+
+// MAB is Race-to-Sleep plus mab-based MACH at VD and DC ("M").
+func MAB(n int) Scheme {
+	return Scheme{Name: "MAB", Batch: n, Race: true, Mach: MachMAB, DisplayOpt: true}
+}
+
+// GAB is Race-to-Sleep plus gab-based MACH at VD and DC ("G").
+func GAB(n int) Scheme {
+	return Scheme{Name: "GAB", Batch: n, Race: true, Mach: MachGAB, DisplayOpt: true}
+}
+
+// GABNoDisplayOpt is the §5 motivation ablation: MACH at the VD with the
+// plain pointer layout and a conventional DC (no display cache, no MACH
+// buffer) — the configuration that costs >60% extra display requests.
+func GABNoDisplayOpt(n int) Scheme {
+	return Scheme{Name: "GAB-noDC", Batch: n, Race: true, Mach: MachGAB}
+}
+
+// DefaultBatch is the batch depth of the headline configuration (§6.3
+// discusses batching 8 frames with GAB).
+const DefaultBatch = 8
+
+// StandardSchemes returns the six Fig 11 bars in plotting order.
+func StandardSchemes() []Scheme {
+	return []Scheme{
+		Baseline(),
+		Batching(DefaultBatch),
+		Racing(),
+		RaceToSleep(DefaultBatch),
+		MAB(DefaultBatch),
+		GAB(DefaultBatch),
+	}
+}

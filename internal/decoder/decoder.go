@@ -1,0 +1,464 @@
+// Package decoder models the hardware video decoder IP: a mab-granularity
+// pipeline (entropy decode, inverse transform, prediction, reconstruction)
+// with an internal decode cache for reference fetches, DVFS between a low
+// and a high frequency point (§3.2 Racing), and a writeback stage that is
+// either the baseline raw stream or the MACH content-cache engine (§4).
+//
+// The model is transaction-level: it converts the per-mab work records of a
+// decode trace into cycles, issues the frame's memory traffic into the DRAM
+// model at paced virtual times, and reports per-frame decode latency and
+// active energy. Reference-block reads block the pipeline (their latency is
+// decode stall time); bitstream reads and writebacks are posted.
+package decoder
+
+import (
+	"fmt"
+
+	"mach/internal/cache"
+	"mach/internal/codec"
+	"mach/internal/dram"
+	"mach/internal/framebuf"
+	"mach/internal/sim"
+)
+
+// Config describes the decoder IP.
+type Config struct {
+	FreqLow   sim.Hertz // baseline DVFS point (paper: 150 MHz, 0.30 W)
+	FreqHigh  sim.Hertz // racing DVFS point (paper: 300 MHz, 0.69 W)
+	PowerLow  float64
+	PowerHigh float64
+
+	// Decode cache servicing reference-block and layout-metadata reads.
+	CacheBytes int
+	CacheWays  int
+	LineBytes  int
+
+	// Cycle-cost model per mab (calibrated so the baseline frame-time
+	// distribution reproduces the paper's Regions I-IV; see EXPERIMENTS.md).
+	CyclesPerMabBase int64   // fixed pipeline overhead per mab
+	CyclesPerBit     float64 // entropy decoding
+	CyclesPerCoef    int64   // inverse transform per nonzero coefficient
+	CyclesIntra      int64   // intra prediction
+	CyclesMC         int64   // motion compensation per reference fetch
+
+	// WritebackThroughCache routes frame writeback through the decode
+	// cache (the Fig 7a experiment showing streaming writes do not cache).
+	WritebackThroughCache bool
+}
+
+// DefaultConfig returns the Table 2 decoder: 150/300 MHz at 0.30/0.69 W with
+// a 32KB 4-way decode cache.
+func DefaultConfig() Config {
+	return Config{
+		FreqLow:          150 * sim.MHz,
+		FreqHigh:         300 * sim.MHz,
+		PowerLow:         0.30,
+		PowerHigh:        0.69,
+		CacheBytes:       32 * 1024,
+		CacheWays:        4,
+		LineBytes:        64,
+		CyclesPerMabBase: 126,
+		CyclesPerBit:     1.15,
+		CyclesPerCoef:    6,
+		CyclesIntra:      82,
+		CyclesMC:         66,
+	}
+}
+
+// Validate reports malformed configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.FreqLow <= 0 || c.FreqHigh < c.FreqLow:
+		return fmt.Errorf("decoder: want 0 < low <= high frequency, got %v/%v", c.FreqLow, c.FreqHigh)
+	case c.PowerLow <= 0 || c.PowerHigh < c.PowerLow:
+		return fmt.Errorf("decoder: want 0 < low <= high power, got %g/%g", c.PowerLow, c.PowerHigh)
+	case c.CacheBytes <= 0 || c.CacheWays <= 0 || c.LineBytes <= 0:
+		return fmt.Errorf("decoder: bad cache shape")
+	case c.CyclesPerMabBase < 0 || c.CyclesPerBit < 0 || c.CyclesPerCoef < 0 || c.CyclesIntra < 0 || c.CyclesMC < 0:
+		return fmt.Errorf("decoder: negative cycle costs")
+	}
+	return nil
+}
+
+// Freq returns the operating frequency for the racing flag.
+func (c Config) Freq(race bool) sim.Hertz {
+	if race {
+		return c.FreqHigh
+	}
+	return c.FreqLow
+}
+
+// Power returns the active power for the racing flag.
+func (c Config) Power(race bool) float64 {
+	if race {
+		return c.PowerHigh
+	}
+	return c.PowerLow
+}
+
+// Stats aggregates decoder behaviour across frames.
+type Stats struct {
+	Frames        int64
+	Mabs          int64
+	ComputeCycles int64
+	StallTime     sim.Time
+	BusyTime      sim.Time
+	ActiveEnergy  float64 // joules at the P-state power
+
+	RefReads  int64 // reference-block line reads requested
+	RefHits   int64 // served by the decode cache
+	MetaReads int64 // layout-metadata line reads for references
+	BitReads  int64 // bitstream line reads (posted)
+	WriteLns  int64 // writeback line writes (posted)
+
+	// Writeback-through-cache counters (the Fig 7a experiment).
+	WbCacheAccesses int64
+	WbCacheHits     int64
+}
+
+// WbHitRate returns the decode-cache hit rate on the writeback path when
+// WritebackThroughCache is enabled.
+func (s Stats) WbHitRate() float64 {
+	if s.WbCacheAccesses == 0 {
+		return 0
+	}
+	return float64(s.WbCacheHits) / float64(s.WbCacheAccesses)
+}
+
+// RefHitRate returns the decode-cache hit rate on the reference path.
+func (s Stats) RefHitRate() float64 {
+	if s.RefReads == 0 {
+		return 0
+	}
+	return float64(s.RefHits) / float64(s.RefReads)
+}
+
+// FrameResult reports one frame's decode.
+type FrameResult struct {
+	Start, Done  sim.Time
+	BusyTime     sim.Time
+	StallTime    sim.Time
+	ActiveEnergy float64
+	LineWrites   int64
+}
+
+// IP is the decoder instance. It retains the memory layouts of recently
+// decoded frames so motion compensation can resolve reference addresses.
+type IP struct {
+	cfg   Config
+	mem   *dram.Memory
+	cache *cache.SetAssoc
+	stats Stats
+
+	// Reference layouts by display index, retired by the pipeline.
+	layouts map[int]*framebuf.FrameLayout
+	// Anchor tracking mirrors codec.Decoder's reference rule.
+	olderAnchor, newerAnchor int
+}
+
+// New builds a decoder IP against the given memory; it panics on invalid
+// configuration.
+func New(cfg Config, mem *dram.Memory) *IP {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &IP{
+		cfg:         cfg,
+		mem:         mem,
+		cache:       cache.NewSetAssoc(cfg.CacheBytes, cfg.LineBytes, cfg.CacheWays),
+		layouts:     make(map[int]*framebuf.FrameLayout),
+		olderAnchor: -1,
+		newerAnchor: -1,
+	}
+}
+
+// Config returns the IP configuration.
+func (ip *IP) Config() Config { return ip.cfg }
+
+// Stats returns accumulated counters.
+func (ip *IP) Stats() Stats { return ip.stats }
+
+// CacheStats exposes the decode cache counters (Fig 7a).
+func (ip *IP) CacheStats() cache.Stats { return ip.cache.Stats() }
+
+// RegisterLayout records a decoded frame's memory layout for use as a
+// reference by later frames. The pipeline calls it right after writeback.
+func (ip *IP) RegisterLayout(l *framebuf.FrameLayout, frameType codec.FrameType) {
+	ip.layouts[l.DisplayIndex] = l
+	if frameType != codec.FrameB {
+		ip.olderAnchor = ip.newerAnchor
+		ip.newerAnchor = l.DisplayIndex
+	}
+}
+
+// RetireLayout drops a reference layout the pipeline no longer needs.
+func (ip *IP) RetireLayout(displayIndex int) {
+	delete(ip.layouts, displayIndex)
+}
+
+// cachedRead routes one line read through the decode cache; on a miss the
+// DRAM access latency is returned (the pipeline stalls for it).
+func (ip *IP) cachedRead(now sim.Time, addr uint64) sim.Time {
+	if ip.cache.Access(addr, false).Hit {
+		return 0
+	}
+	done := ip.mem.Access(now, addr, false)
+	if done < now {
+		return 0
+	}
+	return done - now
+}
+
+// refMabAddrs returns the line addresses the decoder touches to fetch the
+// reference block for a mab at (mabX, mabY) displaced by mv: the layout
+// metadata line(s) plus the content line(s) of every overlapped source mab.
+func (ip *IP) refMabAddrs(l *framebuf.FrameLayout, mabX, mabY int, mv codec.MotionVector, mabSize, mabsPerRow, mabsPerCol int) (meta []uint64, content []uint64) {
+	x0 := mabX*mabSize + int(mv.DX)
+	y0 := mabY*mabSize + int(mv.DY)
+	firstMX, lastMX := floorDiv(x0, mabSize), floorDiv(x0+mabSize-1, mabSize)
+	firstMY, lastMY := floorDiv(y0, mabSize), floorDiv(y0+mabSize-1, mabSize)
+	for my := firstMY; my <= lastMY; my++ {
+		cy := clampInt(my, 0, mabsPerCol-1)
+		for mx := firstMX; mx <= lastMX; mx++ {
+			cx := clampInt(mx, 0, mabsPerRow-1)
+			idx := cy*mabsPerRow + cx
+			rec := l.Records[idx]
+			switch l.Kind {
+			case framebuf.LayoutRaw:
+				content = append(content, l.BufferBase+uint64(idx*l.MabBytes))
+			default:
+				meta = append(meta, l.MetaBase+uint64(idx*4))
+				ptr := rec.Ptr
+				if rec.Kind == framebuf.RecDigest {
+					// The VD resolves digests in its on-chip frozen MACHs;
+					// no memory access for the resolution itself, but the
+					// content still has to be fetched from wherever the
+					// matched copy lives.
+					ptr = resolveDump(l, rec.Digest)
+				}
+				content = append(content, ptr)
+			}
+		}
+	}
+	return meta, content
+}
+
+// resolveDump finds the pointer for a digest in the frame's dump; entries
+// are guaranteed present because a RecDigest was produced from a frozen
+// MACH whose dump is retained with the layout.
+func resolveDump(l *framebuf.FrameLayout, digest uint32) uint64 {
+	for _, e := range l.Dump {
+		if e.Digest == digest {
+			return e.Ptr
+		}
+	}
+	// Inter matches always point at an earlier frame; its dump entry may
+	// have been produced by that earlier frame. Fall back to the buffer
+	// base: the timing error is one line's worth of locality.
+	return l.BufferBase
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// writeSink returns the posted-write path: each line write lands in DRAM at
+// the given virtual time, optionally routed through the decode cache.
+func (ip *IP) writeSink() func(at sim.Time, addr uint64, size int) {
+	return func(at sim.Time, addr uint64, size int) {
+		ip.stats.WriteLns++
+		if ip.cfg.WritebackThroughCache {
+			ip.stats.WbCacheAccesses++
+			res := ip.cache.Access(addr, true)
+			if res.Hit {
+				ip.stats.WbCacheHits++
+				return
+			}
+			if res.Writeback {
+				ip.mem.Access(at, res.WritebackAddr, true)
+			}
+		}
+		ip.mem.Access(at, addr, true) // posted
+	}
+}
+
+// DecodeFrame runs the timing model for one frame starting at now.
+//
+//   - work: the trace's per-mab work records.
+//   - race: operate at the high DVFS point.
+//   - encodedBase/encodedBytes: where the bitstream sits in memory.
+//   - writeback: called per decoded mab region writeback via sink; the
+//     pipeline passes the MACH engine's ProcessFrame through this hook so
+//     write traffic is issued at decode-paced times.
+func (ip *IP) DecodeFrame(
+	now sim.Time,
+	work *codec.FrameWork,
+	race bool,
+	encodedBase uint64,
+	encodedBytes int,
+	writeback func(sink func(addr uint64, size int, mabOrdinal int)) *framebuf.FrameLayout,
+	mabsPerRow, mabsPerCol, mabSize int,
+) (*framebuf.FrameLayout, FrameResult) {
+	cfg := ip.cfg
+	freq := cfg.Freq(race)
+	cur := now
+	var stall sim.Time
+
+	// Bitstream reads: posted, paced across the mab walk.
+	bitLines := int64(0)
+	if encodedBytes > 0 {
+		bitLines = int64((encodedBytes + cfg.LineBytes - 1) / cfg.LineBytes)
+	}
+	bitCursor := encodedBase
+	bitsPosted := int64(0)
+	totalBits := work.TotalBits
+	if totalBits == 0 {
+		totalBits = 1
+	}
+	var bitsSeen int64
+
+	backRef := ip.layouts[ip.newerAnchor]
+	var fwdRef, bRef *framebuf.FrameLayout
+	if work.Type == codec.FrameB {
+		bRef = ip.layouts[ip.olderAnchor]
+		fwdRef = ip.layouts[ip.newerAnchor]
+	}
+
+	var cycles int64
+	mabDone := make([]sim.Time, len(work.Mabs)+1)
+	for i := range work.Mabs {
+		mw := &work.Mabs[i]
+		ip.stats.Mabs++
+		mabX := i % mabsPerRow
+		mabY := i / mabsPerRow
+
+		c := cfg.CyclesPerMabBase +
+			int64(cfg.CyclesPerBit*float64(mw.Bits)) +
+			cfg.CyclesPerCoef*int64(mw.Nonzero)
+		switch mw.Type {
+		case codec.MabI:
+			c += cfg.CyclesIntra
+		case codec.MabP:
+			c += cfg.CyclesMC
+		case codec.MabB:
+			c += 2 * cfg.CyclesMC
+		}
+		cycles += c
+		cur = now + freq.Cycles(cycles) + stall
+
+		// Post bitstream line reads proportionally to bits consumed.
+		bitsSeen += int64(mw.Bits)
+		for wantLines := bitsSeen * bitLines / totalBits; bitsPosted < wantLines; bitsPosted++ {
+			ip.mem.Access(cur, bitCursor, false)
+			bitCursor += uint64(cfg.LineBytes)
+			ip.stats.BitReads++
+		}
+
+		// Blocking reference fetches through the decode cache.
+		fetch := func(l *framebuf.FrameLayout, mv codec.MotionVector) {
+			if l == nil {
+				return
+			}
+			meta, content := ip.refMabAddrs(l, mabX, mabY, mv, mabSize, mabsPerRow, mabsPerCol)
+			for _, a := range meta {
+				ip.stats.MetaReads++
+				stall += ip.cachedRead(cur, a)
+			}
+			for _, a := range content {
+				for _, ln := range cache.LinesFor(a, uint64(mabSize*mabSize*codec.BytesPerPixel), uint64(cfg.LineBytes)) {
+					ip.stats.RefReads++
+					d := ip.cachedRead(cur, ln)
+					if d == 0 {
+						ip.stats.RefHits++
+					}
+					stall += d
+				}
+			}
+		}
+		switch mw.Type {
+		case codec.MabP:
+			fetch(backRef, mw.MV)
+		case codec.MabB:
+			fetch(bRef, mw.MVB)
+			fetch(fwdRef, mw.MVF)
+		}
+		mabDone[i+1] = freq.Cycles(cycles) + stall
+	}
+
+	busy := freq.Cycles(cycles) + stall
+	done := now + busy
+
+	// Writeback runs overlapped with decode. Content lines drain at the
+	// time the producing mab retired, so writes cluster where unique
+	// content is produced and the gap structure follows real decode pace —
+	// Racing halves every gap, which is what lets bursts reuse an open
+	// DRAM row (Fig 5a). Metadata lines (pointers, bases, bitmap, dump)
+	// drain from their coalescing buffers in bursts of 8 across the busy
+	// window.
+	type pendingWrite struct {
+		addr uint64
+		size int
+		ord  int
+	}
+	var pending []pendingWrite
+	layout := writeback(func(addr uint64, size int, mabOrdinal int) {
+		pending = append(pending, pendingWrite{addr, size, mabOrdinal})
+	})
+	if len(pending) > 0 {
+		contentEnd := layout.BufferBase + uint64(len(layout.Records)*layout.MabBytes)
+		sink := ip.writeSink()
+		metaCount := 0
+		for _, pw := range pending {
+			if pw.addr >= layout.BufferBase && pw.addr < contentEnd {
+				ord := pw.ord
+				if ord < 0 {
+					ord = 0
+				}
+				if ord >= len(mabDone)-1 {
+					ord = len(mabDone) - 2
+				}
+				sink(now+mabDone[ord+1], pw.addr, pw.size)
+			} else {
+				metaCount++
+			}
+		}
+		i := 0
+		for _, pw := range pending {
+			if pw.addr >= layout.BufferBase && pw.addr < contentEnd {
+				continue
+			}
+			at := now + sim.Time(int64(busy)*int64(i/8*8)/int64(metaCount))
+			sink(at, pw.addr, pw.size)
+			i++
+		}
+	}
+
+	energy := cfg.Power(race) * busy.Seconds()
+	ip.stats.Frames++
+	ip.stats.ComputeCycles += cycles
+	ip.stats.StallTime += stall
+	ip.stats.BusyTime += busy
+	ip.stats.ActiveEnergy += energy
+
+	return layout, FrameResult{
+		Start:        now,
+		Done:         done,
+		BusyTime:     busy,
+		StallTime:    stall,
+		ActiveEnergy: energy,
+	}
+}

@@ -1,0 +1,202 @@
+package display
+
+import (
+	"testing"
+
+	"mach/internal/dram"
+	"mach/internal/framebuf"
+	"mach/internal/sim"
+)
+
+func testMem() *dram.Memory { return dram.New(dram.DefaultConfig()) }
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.FPS = 0
+	if bad.Validate() == nil {
+		t.Fatal("0 fps should fail")
+	}
+	bad = DefaultConfig()
+	bad.MachBufferEntries = 100 // not divisible by ways
+	bad.MachBufferWays = 3
+	if bad.Validate() == nil {
+		t.Fatal("bad MACH buffer shape should fail")
+	}
+	if DefaultConfig().FramePeriod() != sim.Time(int64(sim.Second)/60) {
+		t.Fatal("frame period")
+	}
+}
+
+// rawLayout builds an n-mab raw frame layout.
+func rawLayout(nMabs int) *framebuf.FrameLayout {
+	l := &framebuf.FrameLayout{
+		Kind:       framebuf.LayoutRaw,
+		MabBytes:   48,
+		BufferBase: framebuf.RegionFrameBuffers,
+	}
+	for i := 0; i < nMabs; i++ {
+		l.Records = append(l.Records, framebuf.MabRecord{Kind: framebuf.RecFull, Ptr: l.BufferBase + uint64(i*48)})
+	}
+	return l
+}
+
+func TestScanOutRawReadsWholeFrame(t *testing.T) {
+	dc := New(DefaultConfig(), testMem())
+	n := 128 // 128 mabs * 48B = 6144B = 96 lines
+	reads := dc.ScanOut(0, rawLayout(n))
+	if reads != 96 {
+		t.Fatalf("line reads = %d want 96", reads)
+	}
+	s := dc.Stats()
+	if s.FramesShown != 1 {
+		t.Fatalf("frames shown = %d", s.FramesShown)
+	}
+	if s.ActiveEnergy <= 0 {
+		t.Fatal("scan energy must accrue")
+	}
+}
+
+// ptrLayout builds a pointer layout where every mab matched one shared
+// content block (extreme intra-match).
+func ptrLayout(nMabs int, kind framebuf.LayoutKind) *framebuf.FrameLayout {
+	l := &framebuf.FrameLayout{
+		Kind:       kind,
+		MabBytes:   48,
+		BufferBase: framebuf.RegionFrameBuffers,
+		MetaBase:   framebuf.RegionFrameBuffers + 1<<20,
+		DumpBase:   framebuf.RegionMachDumps,
+	}
+	l.Records = append(l.Records, framebuf.MabRecord{Kind: framebuf.RecFull, Ptr: l.BufferBase})
+	for i := 1; i < nMabs; i++ {
+		l.Records = append(l.Records, framebuf.MabRecord{Kind: framebuf.RecPointer, Ptr: l.BufferBase})
+	}
+	l.Dump = []framebuf.DumpEntry{{Digest: 0xAB, Ptr: l.BufferBase}}
+	return l
+}
+
+func TestDisplayCacheAbsorbsRepeatedPointers(t *testing.T) {
+	// Every record points at the same 48 bytes: with the display cache the
+	// frame costs a handful of memory reads; without it, hundreds.
+	with := New(DefaultConfig(), testMem())
+	readsWith := with.ScanOut(0, ptrLayout(256, framebuf.LayoutPtr))
+
+	cfg := DefaultConfig()
+	cfg.UseDisplayCache = false
+	cfg.UseMachBuffer = false
+	without := New(cfg, testMem())
+	readsWithout := without.ScanOut(0, ptrLayout(256, framebuf.LayoutPtr))
+
+	if readsWith >= readsWithout/10 {
+		t.Fatalf("display cache: %d reads vs %d without", readsWith, readsWithout)
+	}
+	if with.Stats().DCHitRate() < 0.9 {
+		t.Fatalf("hit rate = %v", with.Stats().DCHitRate())
+	}
+}
+
+func TestMachBufferServesDigests(t *testing.T) {
+	dc := New(DefaultConfig(), testMem())
+	l := ptrLayout(8, framebuf.LayoutPtrDigest)
+	// Replace pointer records with digest records matched in the dump.
+	for i := 1; i < len(l.Records); i++ {
+		l.Records[i] = framebuf.MabRecord{Kind: framebuf.RecDigest, Digest: 0xAB}
+	}
+	dc.Prefetch(0, l)
+	dc.ScanOut(0, l)
+	s := dc.Stats()
+	if s.MachBufHits != 7 {
+		t.Fatalf("machbuf hits = %d", s.MachBufHits)
+	}
+	if s.MachBufMisses != 0 {
+		t.Fatalf("machbuf misses = %d", s.MachBufMisses)
+	}
+	if s.DigestRecords != 7 || s.PointerRecords != 1 {
+		t.Fatalf("record split: %+v", s)
+	}
+}
+
+func TestMachBufferMissFallsBack(t *testing.T) {
+	dc := New(DefaultConfig(), testMem())
+	l := ptrLayout(4, framebuf.LayoutPtrDigest)
+	l.Records[2] = framebuf.MabRecord{Kind: framebuf.RecDigest, Digest: 0xAB}
+	// No prefetch: the digest misses the MACH buffer and falls back to the
+	// dump in memory.
+	dc.ScanOut(0, l)
+	s := dc.Stats()
+	if s.MachBufMisses != 1 {
+		t.Fatalf("expected one fallback, got %+v", s)
+	}
+}
+
+func TestFragmentationCounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseDisplayCache = false
+	cfg.UseMachBuffer = false
+	dc := New(cfg, testMem())
+	l := &framebuf.FrameLayout{
+		Kind:       framebuf.LayoutPtr,
+		MabBytes:   48,
+		BufferBase: framebuf.RegionFrameBuffers,
+		MetaBase:   framebuf.RegionFrameBuffers + 1<<20,
+	}
+	// Content at offset 32: a 48-byte fetch straddles two lines (§5).
+	l.Records = append(l.Records, framebuf.MabRecord{Kind: framebuf.RecFull, Ptr: l.BufferBase + 32})
+	dc.ScanOut(0, l)
+	if dc.Stats().Fragmented != 1 {
+		t.Fatalf("fragmented = %d", dc.Stats().Fragmented)
+	}
+}
+
+func TestRepeatFrame(t *testing.T) {
+	dc := New(DefaultConfig(), testMem())
+	l := rawLayout(64)
+	dc.ScanOut(0, l)
+	shown := dc.Stats().FramesShown
+	dc.RepeatFrame(sim.FromMilliseconds(16), l)
+	s := dc.Stats()
+	if s.FrameRepeats != 1 {
+		t.Fatalf("repeats = %d", s.FrameRepeats)
+	}
+	if s.FramesShown != shown {
+		t.Fatal("a repeat is not a new frame")
+	}
+	// Unknown previous frame: power-only accounting.
+	before := s.ActiveEnergy
+	dc.RepeatFrame(sim.FromMilliseconds(32), nil)
+	if dc.Stats().ActiveEnergy <= before {
+		t.Fatal("repeat must cost scan power")
+	}
+}
+
+func TestGradientBaseReads(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseDisplayCache = false
+	cfg.UseMachBuffer = false
+	dc := New(cfg, testMem())
+	l := ptrLayout(64, framebuf.LayoutPtr)
+	l.Gradient = true
+	reads := dc.ScanOut(0, l)
+	// Base array: 64 records * 3B = 192B = 3 lines beyond the meta+content.
+	dcNoGab := New(cfg, testMem())
+	l2 := ptrLayout(64, framebuf.LayoutPtr)
+	reads2 := dcNoGab.ScanOut(0, l2)
+	if reads <= reads2 {
+		t.Fatalf("gab layout should read the base array: %d vs %d", reads, reads2)
+	}
+}
+
+func TestPrefetchSkipsNonDigestLayouts(t *testing.T) {
+	dc := New(DefaultConfig(), testMem())
+	dc.Prefetch(0, rawLayout(16))
+	if dc.Stats().PrefetchReads != 0 {
+		t.Fatal("raw layouts must not prefetch")
+	}
+	l := ptrLayout(4, framebuf.LayoutPtr)
+	dc.Prefetch(0, l)
+	if dc.Stats().PrefetchReads != 0 {
+		t.Fatal("layout ii must not prefetch")
+	}
+}

@@ -1,0 +1,92 @@
+// Package energy assembles the per-run energy report: the nine-part split
+// of the paper's Fig 11 plus the SRAM overhead model for the MACH hardware
+// (Table 2, CACTI-derived static/dynamic numbers).
+package energy
+
+import "mach/internal/stats"
+
+// Component names of the Fig 11 breakdown, in the paper's plotting order.
+const (
+	CompDC            = "display"
+	CompMemBackground = "mem-background"
+	CompVDBusy        = "vd-busy"
+	CompSleep         = "sleep"
+	CompShortSlack    = "short-slack"
+	CompMemBurst      = "mem-burst"
+	CompMemActPre     = "mem-actpre"
+	CompTransition    = "transition"
+	CompMachOverhead  = "mach-overhead"
+)
+
+// Components lists the breakdown keys in canonical order.
+func Components() []string {
+	return []string{
+		CompDC, CompMemBackground, CompVDBusy, CompSleep, CompShortSlack,
+		CompMemBurst, CompMemActPre, CompTransition, CompMachOverhead,
+	}
+}
+
+// NewBreakdown returns a breakdown pre-seeded with all nine components so
+// reports always show every bar segment, even when zero.
+func NewBreakdown() *stats.Breakdown {
+	b := stats.NewBreakdown()
+	for _, k := range Components() {
+		b.Add(k, 0)
+	}
+	return b
+}
+
+// SRAMConfig carries the Table 2 on-chip overhead numbers: static power in
+// watts and per-access dynamic energy in joules for each added structure.
+type SRAMConfig struct {
+	MachStatic    float64 // 8KB MACH @ VD
+	MachPerAccess float64
+
+	MachBufStatic    float64 // 96KB MACH buffer @ DC
+	MachBufPerAccess float64
+
+	DispCacheStatic    float64 // 16KB display cache @ DC
+	DispCachePerAccess float64
+
+	// GabUnits covers the subtractor/adder vector units and CRC generators;
+	// the paper treats them as negligible but they are modelled for
+	// completeness.
+	GabPerMab float64
+}
+
+// DefaultSRAM returns the Table 2 values. Dynamic per-access energies are
+// derived from the quoted dynamic powers at the paper's access rates.
+func DefaultSRAM() SRAMConfig {
+	return SRAMConfig{
+		MachStatic:         1.9e-3,
+		MachPerAccess:      0.13e-9,
+		MachBufStatic:      24e-3,
+		MachBufPerAccess:   0.35e-9,
+		DispCacheStatic:    3.6e-3,
+		DispCachePerAccess: 0.10e-9,
+		GabPerMab:          0.02e-9,
+	}
+}
+
+// Overhead computes the MACH hardware energy for a run window.
+//
+//	seconds      — wall-clock duration the structures are powered
+//	machLookups  — digest-cache lookups+inserts at the VD
+//	machBufOps   — MACH buffer lookups+fills at the DC
+//	dispCacheOps — display cache lookups
+//	gabMabs      — mabs that went through the gradient units
+//
+// Structures that a scheme does not instantiate contribute nothing: pass
+// zero ops and set the static flags accordingly.
+func (c SRAMConfig) Overhead(seconds float64, machOn, dispOn bool, machLookups, machBufOps, dispCacheOps, gabMabs int64) float64 {
+	e := 0.0
+	if machOn {
+		e += c.MachStatic*seconds + c.MachPerAccess*float64(machLookups) + c.GabPerMab*float64(gabMabs)
+	}
+	if dispOn {
+		e += (c.MachBufStatic+c.DispCacheStatic)*seconds +
+			c.MachBufPerAccess*float64(machBufOps) +
+			c.DispCachePerAccess*float64(dispCacheOps)
+	}
+	return e
+}

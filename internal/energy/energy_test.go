@@ -1,0 +1,60 @@
+package energy
+
+import "testing"
+
+func TestComponentsComplete(t *testing.T) {
+	comps := Components()
+	if len(comps) != 9 {
+		t.Fatalf("components = %d, want the paper's 9-part split", len(comps))
+	}
+	b := NewBreakdown()
+	if len(b.Keys()) != 9 {
+		t.Fatalf("breakdown keys = %d", len(b.Keys()))
+	}
+	if b.Total() != 0 {
+		t.Fatal("fresh breakdown must be zero")
+	}
+	for _, k := range comps {
+		b.Add(k, 1)
+	}
+	if b.Total() != 9 {
+		t.Fatalf("total = %v", b.Total())
+	}
+}
+
+func TestOverheadArithmetic(t *testing.T) {
+	c := DefaultSRAM()
+
+	// No structures: no overhead.
+	if got := c.Overhead(1.0, false, false, 1000, 1000, 1000, 1000); got != 0 {
+		t.Fatalf("overhead without structures = %g", got)
+	}
+
+	// MACH only: static + per-lookup + gradient units.
+	want := c.MachStatic*2.0 + c.MachPerAccess*100 + c.GabPerMab*50
+	if got := c.Overhead(2.0, true, false, 100, 999, 999, 50); got != want {
+		t.Fatalf("mach overhead = %g want %g", got, want)
+	}
+
+	// Display structures add the buffer and cache.
+	withDisp := c.Overhead(2.0, true, true, 100, 10, 20, 50)
+	if withDisp <= want {
+		t.Fatal("display structures must add energy")
+	}
+	wantDisp := want + (c.MachBufStatic+c.DispCacheStatic)*2.0 + c.MachBufPerAccess*10 + c.DispCachePerAccess*20
+	if diff := withDisp - wantDisp; diff > 1e-18 || diff < -1e-18 {
+		t.Fatalf("display overhead = %g want %g", withDisp, wantDisp)
+	}
+}
+
+func TestOverheadScalesWithTime(t *testing.T) {
+	c := DefaultSRAM()
+	short := c.Overhead(1.0, true, true, 0, 0, 0, 0)
+	long := c.Overhead(2.0, true, true, 0, 0, 0, 0)
+	if long <= short {
+		t.Fatal("static overhead must scale with time")
+	}
+	if long/short < 1.99 || long/short > 2.01 {
+		t.Fatalf("static scaling = %v", long/short)
+	}
+}

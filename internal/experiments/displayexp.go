@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mach/internal/core"
+	"mach/internal/stats"
+)
+
+// Fig10c reproduces the display-cache size sensitivity under the full GAB
+// scheme (paper: 16KB is sufficient).
+func (r *Runner) Fig10c(sizesKB []int) (*stats.Table, error) {
+	if len(sizesKB) == 0 {
+		sizesKB = []int{1, 2, 4, 8, 16, 32, 64, 128}
+	}
+	key := r.Cfg.Videos[0]
+	tr, err := r.trace(key)
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("display-cache-KB", "dc-hit-rate", "dc-line-reads/frame", "total-mJ/frame")
+	for _, kb := range sizesKB {
+		cfg := r.Cfg.Platform
+		cfg.Display.DisplayCacheBytes = kb * 1024
+		res, err := core.Run(tr, core.GAB(core.DefaultBatch), cfg)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(kb, pct(res.Disp.DCHitRate()),
+			fmt.Sprintf("%.0f", float64(res.Disp.MemLineReads)/float64(res.Frames)),
+			1e3*res.EnergyPerFrame())
+	}
+	return tb, nil
+}
+
+// Fig10d reproduces the gab indexing split at the display: records resolved
+// by digest (MACH buffer) versus pointer, and how many pointer fetches
+// fragment across two lines (paper: ≈38% digest-indexed; >45% of pointer
+// fetches fragment without the display cache).
+func (r *Runner) Fig10d() (*stats.Table, error) {
+	key := r.Cfg.Videos[0]
+	res, err := r.run(key, core.GAB(core.DefaultBatch))
+	if err != nil {
+		return nil, err
+	}
+	d := res.Disp
+	totalRecords := float64(d.DigestRecords + d.PointerRecords)
+	tb := stats.NewTable("metric", "value")
+	tb.AddRow("digest-indexed", pct(float64(d.DigestRecords)/totalRecords))
+	tb.AddRow("pointer-indexed", pct(float64(d.PointerRecords)/totalRecords))
+	tb.AddRow("machbuf-hit-rate", pct(float64(d.MachBufHits)/maxF(float64(d.DigestRecords), 1)))
+	tb.AddRow("fragmented-fetches", pct(float64(d.Fragmented)/maxF(float64(d.PointerRecords), 1)))
+	tb.AddRow("paper-digest-indexed", "38%")
+	return tb, nil
+}
+
+// Fig10e reproduces the display-side memory-access comparison: the raw
+// baseline, MACH with the naive pointer layout and a conventional DC (the
+// >60% extra requests problem), and MACH with the display cache + MACH
+// buffer (paper: 33.5% fewer accesses than baseline; 20% from the MACH
+// buffer, 15.5% from the display cache).
+func (r *Runner) Fig10e() (*stats.Table, error) {
+	key := r.Cfg.Videos[0]
+	tb := stats.NewTable("config", "dc-line-reads/frame", "vs-baseline")
+
+	base, err := r.run(key, core.RaceToSleep(core.DefaultBatch))
+	if err != nil {
+		return nil, err
+	}
+	baseReads := float64(base.Disp.MemLineReads) / float64(base.Frames)
+	tb.AddRow("raw layout (no MACH)", fmt.Sprintf("%.0f", baseReads), "1.000")
+
+	noOpt, err := r.run(key, core.GABNoDisplayOpt(core.DefaultBatch))
+	if err != nil {
+		return nil, err
+	}
+	noOptReads := float64(noOpt.Disp.MemLineReads) / float64(noOpt.Frames)
+	tb.AddRow("MACH, naive DC (layout ii)", fmt.Sprintf("%.0f", noOptReads), fmt.Sprintf("%.3f", noOptReads/baseReads))
+
+	full, err := r.run(key, core.GAB(core.DefaultBatch))
+	if err != nil {
+		return nil, err
+	}
+	fullReads := float64(full.Disp.MemLineReads) / float64(full.Frames)
+	tb.AddRow("MACH + display cache + MACH buffer", fmt.Sprintf("%.0f", fullReads), fmt.Sprintf("%.3f", fullReads/baseReads))
+	tb.AddRow("paper: full optimization", "", "0.665 (33.5% saved)")
+	return tb, nil
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,219 @@
+package experiments
+
+// Extension experiments beyond the paper's figures: the §6.4 recording
+// pipeline, the related-work transaction-elimination comparison (§7), the
+// §4.5 replacement-policy ablation, the §4 colour-space generality claim,
+// and background-traffic contention.
+
+import (
+	"fmt"
+
+	"mach/internal/codec"
+	"mach/internal/core"
+	"mach/internal/mach"
+	"mach/internal/record"
+	"mach/internal/soc"
+	"mach/internal/stats"
+)
+
+// Record runs the §6.4 recording pipeline (camera -> memory -> encoder)
+// with and without MACH at the camera writeback.
+func (r *Runner) Record() (*stats.Table, error) {
+	tb := stats.NewTable("config", "camera-writes/frame", "encoder-reads/frame", "mem-accesses", "norm-energy", "match")
+	var base *record.Result
+	for _, useMach := range []bool{false, true} {
+		cfg := record.DefaultConfig()
+		cfg.UseMach = useMach
+		res, err := record.Run(cfg, r.Cfg.Videos[0], r.Cfg.Stream.Width, r.Cfg.Stream.Height, r.Cfg.Stream.NumFrames, r.Cfg.Stream.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if base == nil {
+			base = res
+		}
+		name := "raw camera writeback"
+		if useMach {
+			name = "MACH @ camera + encoder"
+		}
+		f := float64(res.Frames)
+		tb.AddRow(name,
+			fmt.Sprintf("%.0f", float64(res.CameraLineWrites)/f),
+			fmt.Sprintf("%.0f", float64(res.EncoderLineReads)/f),
+			res.MemAccesses(),
+			fmt.Sprintf("%.3f", res.TotalEnergy()/base.TotalEnergy()),
+			pct(res.Mach.MatchRate()))
+	}
+	return tb, nil
+}
+
+// RelatedTE compares checksum-based transaction elimination (ARM TE / Han
+// et al., §7) against MACH and their combination on the same content. TE
+// only removes temporally identical same-position tiles; MACH also matches
+// moved and spatially repeated content.
+func (r *Runner) RelatedTE() (*stats.Table, error) {
+	key := r.Cfg.Videos[0]
+	tr, err := r.trace(key)
+	if err != nil {
+		return nil, err
+	}
+	te := mach.NewTE(16, tr.Params.MabSize)
+	for i := range tr.Frames {
+		te.ProcessFrame(tr.Frames[i].Decoded)
+	}
+	gs, err := r.machPass(key, mach.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	// Combined: TE skips static tiles; MACH dedups the written remainder.
+	// Upper-bound composition: savings = te + (1-te)*mach.
+	combined := te.Savings() + (1-te.Savings())*gs.Savings()
+
+	tb := stats.NewTable("scheme", "write-savings", "note")
+	tb.AddRow("transaction elimination", pct(te.Savings()), fmt.Sprintf("%.1f%% tiles skipped", 100*te.SkipRate()))
+	tb.AddRow("MACH (gab)", pct(gs.Savings()), fmt.Sprintf("%.1f%% mabs matched", 100*gs.MatchRate()))
+	tb.AddRow("TE + MACH (composed)", pct(combined), "TE first, MACH on the remainder")
+	return tb, nil
+}
+
+// Replacement ablates the MACH victim policy (§4.5 leaves "intelligently
+// picking what digest resides in MACH" to future work): LRU (the paper),
+// LFU, FIFO, and the unbounded optimal.
+func (r *Runner) Replacement() (*stats.Table, error) {
+	key := r.Cfg.Videos[0]
+	tr, err := r.trace(key)
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("policy", "gab-savings", "match-rate")
+	for _, p := range []mach.Replacement{mach.LRU, mach.LFU, mach.FIFO} {
+		cfg := mach.DefaultConfig()
+		cfg.Policy = p
+		st, err := r.machPass(key, cfg)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(p.String(), pct(st.Savings()), pct(st.MatchRate()))
+	}
+	opt := mach.NewAnalyzer(mach.DefaultConfig().NumMACHs, tr.Params.MabSize, true)
+	for i := range tr.Frames {
+		opt.ProcessFrame(tr.Frames[i].Decoded)
+	}
+	tb.AddRow("optimal (unbounded)", pct(opt.Savings()), "")
+	return tb, nil
+}
+
+// ColorSpace verifies the §4 claim that content caching is colour-space
+// generic: the ideal gab/mab match rates on the same stream in RGB versus
+// YUV444.
+func (r *Runner) ColorSpace() (*stats.Table, error) {
+	key := r.Cfg.Videos[0]
+	tr, err := r.trace(key)
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("space", "mode", "match-rate", "ideal-savings")
+	for _, space := range []string{"RGB", "YUV444"} {
+		for _, gradient := range []bool{false, true} {
+			an := mach.NewAnalyzer(16, tr.Params.MabSize, gradient)
+			for i := range tr.Frames {
+				fr := tr.Frames[i].Decoded
+				if space == "YUV444" {
+					fr = codec.ToYUV444(fr)
+				}
+				an.ProcessFrame(fr)
+			}
+			mode := "mab"
+			if gradient {
+				mode = "gab"
+			}
+			tb.AddRow(space, mode, pct(an.IntraRate()+an.InterRate()), pct(an.Savings()))
+		}
+	}
+	return tb, nil
+}
+
+// Contention sweeps background SoC memory traffic and reports its effect on
+// the racing benefit and on GAB's savings — the interference the paper's
+// full-system platform bakes in.
+func (r *Runner) Contention(bandwidthsMBs []float64) (*stats.Table, error) {
+	if len(bandwidthsMBs) == 0 {
+		bandwidthsMBs = []float64{0, 100, 400, 800}
+	}
+	key := r.Cfg.Videos[0]
+	tr, err := r.trace(key)
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("bg-MB/s", "base-mJ/frame", "racing-actpre-benefit", "gab-norm", "drops-base")
+	for _, mbs := range bandwidthsMBs {
+		cfg := r.Cfg.Platform
+		if mbs > 0 {
+			cfg.Traffic = soc.DefaultTraffic()
+			cfg.Traffic.BytesPerSecond = mbs * 1e6
+		}
+		base, err := core.Run(tr, core.Baseline(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		race, err := core.Run(tr, core.Racing(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		gab, err := core.Run(tr, core.GAB(core.DefaultBatch), cfg)
+		if err != nil {
+			return nil, err
+		}
+		benefit := 0.0
+		if base.MemEnergy.ActPre > 0 {
+			benefit = 1 - race.MemEnergy.ActPre/base.MemEnergy.ActPre
+		}
+		tb.AddRow(mbs,
+			fmt.Sprintf("%.2f", 1e3*base.EnergyPerFrame()),
+			pct(benefit),
+			fmt.Sprintf("%.3f", gab.TotalEnergy()/base.TotalEnergy()),
+			base.Drops)
+	}
+	return tb, nil
+}
+
+// SlackPrediction compares the related-work history-based DVFS comparator
+// ([57], §7) against the paper's race-to-sleep: the predictor saves decoder
+// energy on predictable frames but drops frames whenever the history
+// mispredicts (scene cuts, large I frames) — the paper's argument for
+// racing plus batching.
+func (r *Runner) SlackPrediction() (*stats.Table, error) {
+	schemes := []core.Scheme{
+		core.Baseline(),
+		core.SlackPredictive(),
+		core.RaceToSleep(core.DefaultBatch),
+	}
+	type agg struct {
+		energy float64
+		drops  int64
+		frames int
+		s3     float64
+	}
+	totals := make([]agg, len(schemes))
+	for _, key := range r.Cfg.Videos {
+		for i, s := range schemes {
+			res, err := r.run(key, s)
+			if err != nil {
+				return nil, err
+			}
+			totals[i].energy += res.TotalEnergy()
+			totals[i].drops += res.Drops
+			totals[i].frames += res.Frames
+			totals[i].s3 += res.S3Residency()
+		}
+	}
+	tb := stats.NewTable("scheme", "norm-energy", "drops", "drop-rate", "S3%")
+	base := totals[0].energy
+	for i, s := range schemes {
+		tb.AddRow(s.Name,
+			fmt.Sprintf("%.3f", totals[i].energy/base),
+			totals[i].drops,
+			pct(float64(totals[i].drops)/float64(totals[i].frames)),
+			pct(totals[i].s3/float64(len(r.Cfg.Videos))))
+	}
+	return tb, nil
+}

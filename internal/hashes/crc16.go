@@ -1,0 +1,32 @@
+package hashes
+
+// CRC16-CCITT (polynomial 0x1021, initial value 0xFFFF), implemented from
+// scratch because the Go standard library ships CRC32/CRC64 but no CRC16.
+// This is the auxiliary hash the paper combines with CRC32 to build the
+// 48-bit CO-MACH digest (§6.3).
+
+var crc16Table [256]uint16
+
+func init() {
+	const poly = 0x1021
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for bit := 0; bit < 8; bit++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ poly
+			} else {
+				crc <<= 1
+			}
+		}
+		crc16Table[i] = crc
+	}
+}
+
+// CRC16CCITT returns the CRC16-CCITT (false) checksum of data.
+func CRC16CCITT(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc = crc<<8 ^ crc16Table[byte(crc>>8)^b]
+	}
+	return crc
+}

@@ -1,0 +1,55 @@
+package hashes
+
+// MurmurHash3 (32-bit, x86 variant), implemented from scratch. It joins the
+// Fig 12d digest comparison as a modern non-cryptographic mixer between the
+// cyclic codes (CRC) and the cryptographic truncations (MD5/SHA1): MACH only
+// needs uniform 32-bit digests, so any of them works — which is the paper's
+// point in picking the cheapest (CRC32).
+
+// Murmur3_32 computes the 32-bit MurmurHash3 of data with the given seed.
+func Murmur3_32(data []byte, seed uint32) uint32 {
+	const (
+		c1 = 0xcc9e2d51
+		c2 = 0x1b873593
+	)
+	h := seed
+	n := len(data)
+
+	// Body: 4-byte blocks.
+	for i := 0; i+4 <= n; i += 4 {
+		k := uint32(data[i]) | uint32(data[i+1])<<8 | uint32(data[i+2])<<16 | uint32(data[i+3])<<24
+		k *= c1
+		k = k<<15 | k>>17
+		k *= c2
+		h ^= k
+		h = h<<13 | h>>19
+		h = h*5 + 0xe6546b64
+	}
+
+	// Tail.
+	var k uint32
+	tail := data[n&^3:]
+	switch len(tail) {
+	case 3:
+		k ^= uint32(tail[2]) << 16
+		fallthrough
+	case 2:
+		k ^= uint32(tail[1]) << 8
+		fallthrough
+	case 1:
+		k ^= uint32(tail[0])
+		k *= c1
+		k = k<<15 | k>>17
+		k *= c2
+		h ^= k
+	}
+
+	// Finalization.
+	h ^= uint32(n)
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}

@@ -1,0 +1,106 @@
+package mach
+
+import (
+	"testing"
+
+	"mach/internal/framebuf"
+)
+
+// TestPointerAgingBoundsReferences: content matched across many frames must
+// be re-stored before its origin buffer leaves the retention window, so no
+// live pointer ever targets a buffer older than NumMACHs frames.
+func TestPointerAgingBoundsReferences(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumMACHs = 4
+	wb, err := NewWriteback(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := flatFrame(32, 16, 33, 44, 55) // one unique gab, matched forever
+	slot := func(i int) uint64 { return framebuf.RegionFrameBuffers + uint64(i)*(1<<20) }
+
+	var layouts []*framebuf.FrameLayout
+	for i := 0; i < 16; i++ {
+		l := wb.ProcessFrame(fr, i, slot(i), framebuf.RegionMachDumps+uint64(i)*(1<<16), nil)
+		layouts = append(layouts, l)
+	}
+	s := wb.Stats()
+	if s.AgedOut == 0 {
+		t.Fatal("long-lived matches must age out and re-store")
+	}
+	// Every pointer in every layout must target a buffer at most NumMACHs
+	// frames older than the layout itself.
+	for i, l := range layouts {
+		for _, rec := range l.Records {
+			if rec.Kind != framebuf.RecPointer && rec.Kind != framebuf.RecFull {
+				continue
+			}
+			origin := int((rec.Ptr - framebuf.RegionFrameBuffers) >> 20)
+			if i-origin > cfg.NumMACHs {
+				t.Fatalf("frame %d references buffer %d: older than the %d-frame window",
+					i, origin, cfg.NumMACHs)
+			}
+		}
+	}
+	// The content is re-stored roughly every NumMACHs frames, not every
+	// frame: the steady state still deduplicates.
+	if s.NoMatches > int64(16/cfg.NumMACHs+3) {
+		t.Fatalf("stores = %d, aging re-stores too often", s.NoMatches)
+	}
+}
+
+// TestInterMatchJoinsCurrentVocabulary: an inter match must make later mabs
+// of the same frame match as intra (the frame's MACH holds its content
+// vocabulary, §4.2).
+func TestInterMatchJoinsCurrentVocabulary(t *testing.T) {
+	wb, _ := NewWriteback(DefaultConfig())
+	fr := flatFrame(32, 16, 9, 9, 9)
+	wb.ProcessFrame(fr, 0, framebuf.RegionFrameBuffers, framebuf.RegionMachDumps, nil)
+	before := wb.Stats()
+	wb.ProcessFrame(fr, 1, framebuf.RegionFrameBuffers+1<<20, framebuf.RegionMachDumps+1<<16, nil)
+	after := wb.Stats()
+	// Frame 1: first mab inter-matches frame 0's entry, the remaining 31
+	// match it as intra within the frame.
+	if d := after.InterMatches - before.InterMatches; d != 1 {
+		t.Fatalf("inter matches in repeat frame = %d want 1", d)
+	}
+	if d := after.IntraMatches - before.IntraMatches; d != 31 {
+		t.Fatalf("intra matches in repeat frame = %d want 31", d)
+	}
+}
+
+// TestHistoryWindowDepth: content seen NumMACHs+1 frames ago must no longer
+// match (its frozen MACH fell out of the search window).
+func TestHistoryWindowDepth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumMACHs = 2
+	wb, _ := NewWriteback(cfg)
+	a := flatFrame(16, 8, 1, 2, 3)
+	filler1 := flatFrame(16, 8, 100, 110, 120)
+	filler2 := flatFrame(16, 8, 200, 210, 220)
+
+	wb.ProcessFrame(a, 0, framebuf.RegionFrameBuffers, framebuf.RegionMachDumps, nil)
+	wb.ProcessFrame(filler1, 1, framebuf.RegionFrameBuffers+1<<20, framebuf.RegionMachDumps+1<<16, nil)
+	wb.ProcessFrame(filler2, 2, framebuf.RegionFrameBuffers+2<<20, framebuf.RegionMachDumps+2<<16, nil)
+	before := wb.Stats()
+	// Frame 3: content 'a' was last in frame 0's MACH, which has expired
+	// from the 2-deep history. In gab mode all flat frames share the zero
+	// gab though, so use mab mode semantics via a distinct cfg.
+	_ = before
+	cfgM := DefaultConfig()
+	cfgM.NumMACHs = 2
+	cfgM.Gradient = false
+	wbM, _ := NewWriteback(cfgM)
+	wbM.ProcessFrame(a, 0, framebuf.RegionFrameBuffers, framebuf.RegionMachDumps, nil)
+	wbM.ProcessFrame(filler1, 1, framebuf.RegionFrameBuffers+1<<20, framebuf.RegionMachDumps+1<<16, nil)
+	wbM.ProcessFrame(filler2, 2, framebuf.RegionFrameBuffers+2<<20, framebuf.RegionMachDumps+2<<16, nil)
+	b := wbM.Stats()
+	wbM.ProcessFrame(a, 3, framebuf.RegionFrameBuffers+3<<20, framebuf.RegionMachDumps+3<<16, nil)
+	afterM := wbM.Stats()
+	if afterM.InterMatches != b.InterMatches {
+		t.Fatalf("expired content still inter-matched (%d -> %d)", b.InterMatches, afterM.InterMatches)
+	}
+	if afterM.NoMatches <= b.NoMatches {
+		t.Fatal("expired content must be re-stored")
+	}
+}

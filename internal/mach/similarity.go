@@ -1,0 +1,135 @@
+package mach
+
+import (
+	"mach/internal/codec"
+)
+
+// Analyzer measures the *ideal* content similarity of a decoded mab stream:
+// exact content matching with unbounded dictionaries over a sliding window
+// of previous frames. It answers two questions from the paper:
+//
+//   - Fig 7b: with a 16-frame window, what fraction of mabs are intra
+//     matches, inter matches, or unmatched? (42% / 15% / 43%)
+//   - Fig 9a "optimal": with MACH's own window (8 frames) but perfect
+//     capacity/replacement, how many bytes could dedup save? LRU MACH is
+//     compared against this upper bound (the paper measures it 7% worse).
+//
+// Matching is by exact content (not digest), so the analyzer is free of
+// hash collisions and usable as ground truth in tests.
+type Analyzer struct {
+	window   int
+	gradient bool
+	mabSize  int
+
+	curr    map[string]struct{}
+	history []map[string]struct{} // newest first
+
+	Mabs         int64
+	IntraMatches int64
+	InterMatches int64
+	NoMatches    int64
+
+	// Byte accounting mirroring Writeback, for the optimal line of Fig 9a.
+	ContentBytes uint64
+	MetaBytes    uint64
+	RawBytes     uint64
+
+	mabBuf []byte
+	gabBuf []byte
+}
+
+// NewAnalyzer builds an analyzer matching over the given previous-frame
+// window (16 for Fig 7b, NumMACHs for the optimal bound) in mab or gab mode.
+func NewAnalyzer(window, mabSize int, gradient bool) *Analyzer {
+	if window < 0 || mabSize < 2 || mabSize&(mabSize-1) != 0 {
+		panic("mach: bad analyzer shape")
+	}
+	mb := mabSize * mabSize * codec.BytesPerPixel
+	return &Analyzer{
+		window:   window,
+		gradient: gradient,
+		mabSize:  mabSize,
+		mabBuf:   make([]byte, mb),
+		gabBuf:   make([]byte, mb),
+	}
+}
+
+// ProcessFrame folds one decoded frame (decode order) into the statistics.
+func (a *Analyzer) ProcessFrame(fr *codec.Frame) {
+	n := a.mabSize
+	mabBytes := len(a.mabBuf)
+	a.curr = make(map[string]struct{}, fr.NumMabs(n))
+	metaPerMatch := 4
+	if a.gradient {
+		metaPerMatch = 7
+	}
+	for y0 := 0; y0 < fr.H; y0 += n {
+		for x0 := 0; x0 < fr.W; x0 += n {
+			a.Mabs++
+			a.RawBytes += uint64(mabBytes)
+			fr.CopyBlock(x0, y0, n, a.mabBuf)
+			content := a.mabBuf
+			if a.gradient {
+				var base [3]byte
+				ComputeGab(a.mabBuf, &base, a.gabBuf)
+				content = a.gabBuf
+			}
+			key := string(content)
+			if _, ok := a.curr[key]; ok {
+				a.IntraMatches++
+				a.MetaBytes += uint64(metaPerMatch)
+				continue
+			}
+			matched := false
+			for _, h := range a.history {
+				if _, ok := h[key]; ok {
+					matched = true
+					break
+				}
+			}
+			if matched {
+				a.InterMatches++
+				a.MetaBytes += uint64(metaPerMatch)
+				// Window-matched content still becomes current-frame
+				// vocabulary for later intra matches.
+				a.curr[key] = struct{}{}
+				continue
+			}
+			a.NoMatches++
+			a.ContentBytes += uint64(mabBytes)
+			a.MetaBytes += uint64(metaPerMatch)
+			a.curr[key] = struct{}{}
+		}
+	}
+	if a.window > 0 {
+		a.history = append([]map[string]struct{}{a.curr}, a.history...)
+		if len(a.history) > a.window {
+			a.history = a.history[:a.window]
+		}
+	}
+	a.curr = nil
+}
+
+// IntraRate returns intra matches / mabs.
+func (a *Analyzer) IntraRate() float64 { return rate(a.IntraMatches, a.Mabs) }
+
+// InterRate returns inter matches / mabs.
+func (a *Analyzer) InterRate() float64 { return rate(a.InterMatches, a.Mabs) }
+
+// NoMatchRate returns unmatched mabs / mabs.
+func (a *Analyzer) NoMatchRate() float64 { return rate(a.NoMatches, a.Mabs) }
+
+// Savings returns the ideal fractional write reduction (Fig 9a optimal).
+func (a *Analyzer) Savings() float64 {
+	if a.RawBytes == 0 {
+		return 0
+	}
+	return 1 - float64(a.ContentBytes+a.MetaBytes)/float64(a.RawBytes)
+}
+
+func rate(x, n int64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(x) / float64(n)
+}

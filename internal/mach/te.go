@@ -1,0 +1,105 @@
+package mach
+
+// Transaction elimination: the industrial checksum-based alternative the
+// paper compares against in related work (ARM Transaction Elimination [9],
+// Han et al.'s checksum displays [35]). The producer keeps a CRC per frame
+// tile; when a tile's checksum equals the previous frame's, the tile is not
+// written at all (the consumer reuses the old content in place).
+//
+// TE exploits only *temporal, same-position* redundancy, while MACH matches
+// content at any position within the current and previous frames — so TE
+// wins on perfectly static content and loses as soon as content moves or
+// repeats spatially, which is the comparison TEStats quantifies.
+
+import (
+	"hash/crc32"
+
+	"mach/internal/codec"
+)
+
+// TE models checksum-based transaction elimination over a decoded stream.
+type TE struct {
+	tileMabs int // mabs per tile
+	mabSize  int
+	prev     []uint32 // per-tile CRCs of the previous frame
+
+	Frames        int64
+	Tiles         int64
+	SkippedTiles  int64
+	BytesWritten  uint64
+	RawBytes      uint64
+	checksumBytes uint64
+
+	buf []byte
+}
+
+// NewTE returns a transaction-elimination model grouping tileMabs
+// consecutive mabs per checksum (ARM uses 16x16-pixel tiles; 16 4x4 mabs is
+// the equivalent area).
+func NewTE(tileMabs, mabSize int) *TE {
+	if tileMabs < 1 || mabSize < 2 {
+		panic("mach: bad TE shape")
+	}
+	return &TE{
+		tileMabs: tileMabs,
+		mabSize:  mabSize,
+		buf:      make([]byte, mabSize*mabSize*codec.BytesPerPixel*tileMabs),
+	}
+}
+
+// ProcessFrame folds one decoded frame into the statistics.
+func (t *TE) ProcessFrame(fr *codec.Frame) {
+	n := t.mabSize
+	mabBytes := n * n * codec.BytesPerPixel
+	mabsPerRow := fr.W / n
+	numMabs := fr.NumMabs(n)
+	numTiles := (numMabs + t.tileMabs - 1) / t.tileMabs
+	if len(t.prev) != numTiles {
+		t.prev = make([]uint32, numTiles)
+		for i := range t.prev {
+			t.prev[i] = ^uint32(0)
+		}
+	}
+	t.Frames++
+	for tile := 0; tile < numTiles; tile++ {
+		first := tile * t.tileMabs
+		last := first + t.tileMabs
+		if last > numMabs {
+			last = numMabs
+		}
+		size := 0
+		for m := first; m < last; m++ {
+			x0 := (m % mabsPerRow) * n
+			y0 := (m / mabsPerRow) * n
+			fr.CopyBlock(x0, y0, n, t.buf[size:size+mabBytes])
+			size += mabBytes
+		}
+		crc := crc32.ChecksumIEEE(t.buf[:size])
+		t.Tiles++
+		t.RawBytes += uint64(size)
+		t.checksumBytes += 4
+		if crc == t.prev[tile] {
+			t.SkippedTiles++
+		} else {
+			t.BytesWritten += uint64(size)
+			t.prev[tile] = crc
+		}
+	}
+}
+
+// Savings returns the fractional write reduction (checksum storage counted
+// as overhead).
+func (t *TE) Savings() float64 {
+	if t.RawBytes == 0 {
+		return 0
+	}
+	return 1 - float64(t.BytesWritten+t.checksumBytes)/float64(t.RawBytes)
+}
+
+// SkipRate returns the fraction of tiles eliminated.
+func (t *TE) SkipRate() float64 {
+	if t.Tiles == 0 {
+		return 0
+	}
+	return float64(t.SkippedTiles) / float64(t.Tiles)
+}

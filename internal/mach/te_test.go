@@ -1,0 +1,102 @@
+package mach
+
+import (
+	"testing"
+
+	"mach/internal/codec"
+)
+
+func TestTEStaticContentSkips(t *testing.T) {
+	te := NewTE(16, 4)
+	fr := uniqueFrame(64, 32, 1)
+	te.ProcessFrame(fr)
+	if te.SkippedTiles != 0 {
+		t.Fatal("first frame cannot skip")
+	}
+	te.ProcessFrame(fr) // identical frame: every tile skips
+	if te.SkipRate() != 0.5 {
+		t.Fatalf("skip rate = %v want 0.5 (second frame fully skipped)", te.SkipRate())
+	}
+	if te.Savings() <= 0.4 {
+		t.Fatalf("savings = %v", te.Savings())
+	}
+}
+
+func TestTEMovedContentDoesNotSkip(t *testing.T) {
+	// TE is position-bound: shifting content by one mab defeats it, while
+	// MACH still matches by value. This is the paper's related-work
+	// argument for content (not address/position) caching.
+	a := uniqueFrame(64, 32, 1)
+	b := codec.NewFrame(64, 32)
+	// b = a shifted left by one mab (4 pixels), wrapping.
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 64; x++ {
+			r, g, bb := a.At((x+4)%64, y)
+			b.Set(x, y, r, g, bb)
+		}
+	}
+	te := NewTE(4, 4)
+	te.ProcessFrame(a)
+	te.ProcessFrame(b)
+	if te.SkipRate() > 0.05 {
+		t.Fatalf("shifted content should defeat TE, skip rate %v", te.SkipRate())
+	}
+
+	// MACH (8-frame window) still deduplicates the shifted content.
+	wb, _ := NewWriteback(DefaultConfig())
+	wb.ProcessFrame(a, 0, 0x1000_0000, 0x2000_0000, nil)
+	before := wb.Stats().InterMatches
+	wb.ProcessFrame(b, 1, 0x1100_0000, 0x2100_0000, nil)
+	if wb.Stats().InterMatches == before {
+		t.Fatal("MACH should inter-match shifted content")
+	}
+}
+
+func TestTEChecksumOverheadCounted(t *testing.T) {
+	te := NewTE(16, 4)
+	fr := uniqueFrame(32, 16, 2)
+	te.ProcessFrame(fr)
+	// Nothing skipped: savings must be slightly negative (checksum cost).
+	if te.Savings() >= 0 {
+		t.Fatalf("savings = %v, want negative on all-changed content", te.Savings())
+	}
+}
+
+func TestTEShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTE(0, 4)
+}
+
+func TestReplacementPolicies(t *testing.T) {
+	if LRU.String() != "lru" || LFU.String() != "lfu" || FIFO.String() != "fifo" {
+		t.Fatal("policy names")
+	}
+	// LFU keeps a frequently matched entry that LRU would evict.
+	lfu := newDigestCachePolicy(4, 4, LFU)
+	lfu.insert(0, 0, 100, 0)
+	for i := 0; i < 5; i++ {
+		lfu.lookup(0, 0, false) // 0 becomes hot
+	}
+	lfu.insert(4, 0, 400, 0)
+	lfu.insert(8, 0, 800, 0)
+	lfu.insert(12, 0, 1200, 0)
+	lfu.insert(16, 0, 1600, 0) // evicts one of the cold entries, not 0
+	if _, _, hit, _ := lfu.lookup(0, 0, false); !hit {
+		t.Fatal("LFU should keep the hot entry")
+	}
+
+	fifo := newDigestCachePolicy(4, 4, FIFO)
+	fifo.insert(0, 0, 100, 0)
+	fifo.lookup(0, 0, false) // recency must not matter
+	fifo.insert(4, 0, 400, 0)
+	fifo.insert(8, 0, 800, 0)
+	fifo.insert(12, 0, 1200, 0)
+	fifo.insert(16, 0, 1600, 0) // evicts 0, the oldest insertion
+	if _, _, hit, _ := fifo.lookup(0, 0, false); hit {
+		t.Fatal("FIFO should evict the oldest insertion")
+	}
+}

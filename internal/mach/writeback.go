@@ -1,0 +1,509 @@
+package mach
+
+import (
+	"crypto/md5"
+	"fmt"
+
+	"mach/internal/codec"
+	"mach/internal/framebuf"
+	"mach/internal/hashes"
+)
+
+// Config describes one MACH deployment at the video decoder.
+type Config struct {
+	// NumMACHs is how many frozen per-frame MACHs are searched in addition
+	// to the current frame's MACH: a mab can match content up to NumMACHs
+	// frames back (§4.4 picks 8; Fig 12a is the sensitivity sweep).
+	NumMACHs int
+	// EntriesPerMACH and Ways shape each MACH (paper: 256 entries, 4-way).
+	EntriesPerMACH int
+	Ways           int
+
+	// Gradient selects gab mode (§4.3); false is plain mab mode.
+	Gradient bool
+	// Digest selects the hash (Fig 12d sweep; CRC32 by default).
+	Digest hashes.Func
+
+	// CoMach enables the collision MACH of §6.3 (CRC32+CRC16 deep digest).
+	CoMach        bool
+	CoMachEntries int
+	CoMachWays    int
+
+	// Policy selects the MACH replacement policy (LRU in the paper; §4.5
+	// leaves smarter digest-residency policies to future work).
+	Policy Replacement
+
+	// MabSize is the block edge in pixels (Fig 12c sweep; 4 by default).
+	MabSize int
+	// Layout selects the frame-buffer layout produced: LayoutPtr (§4) or
+	// LayoutPtrDigest (§5.1). LayoutRaw bypasses MACH entirely.
+	Layout framebuf.LayoutKind
+	// Coalesce enables the three 64-byte coalescing buffers of §4.4;
+	// disabling it is the ablation where every small item costs a line.
+	Coalesce  bool
+	LineBytes int
+
+	// TrackCollisions verifies matches against true content fingerprints
+	// (measurement-only shadow state, Fig 12d).
+	TrackCollisions bool
+	// TrackPopularity counts matches per digest (Fig 9b).
+	TrackPopularity bool
+}
+
+// DefaultConfig returns the paper's deployment: 8 MACHs x 256 entries x
+// 4-way (8KB), gab mode, CRC32, display-optimized layout, coalescing on.
+func DefaultConfig() Config {
+	return Config{
+		NumMACHs:       8,
+		EntriesPerMACH: 256,
+		Ways:           4,
+		Gradient:       true,
+		Digest:         hashes.CRC32,
+		CoMach:         false,
+		CoMachEntries:  128,
+		CoMachWays:     4,
+		MabSize:        4,
+		Layout:         framebuf.LayoutPtrDigest,
+		Coalesce:       true,
+		LineBytes:      64,
+	}
+}
+
+// Validate reports malformed configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.NumMACHs < 0 || c.NumMACHs > 64:
+		return fmt.Errorf("mach: NumMACHs %d outside [0,64]", c.NumMACHs)
+	case c.EntriesPerMACH <= 0 || c.Ways <= 0 || c.EntriesPerMACH%c.Ways != 0:
+		return fmt.Errorf("mach: bad MACH shape %d/%d", c.EntriesPerMACH, c.Ways)
+	case c.MabSize < 2 || c.MabSize > 16 || c.MabSize&(c.MabSize-1) != 0:
+		return fmt.Errorf("mach: mab size %d", c.MabSize)
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("mach: line bytes %d", c.LineBytes)
+	case c.CoMach && (c.CoMachEntries <= 0 || c.CoMachWays <= 0 || c.CoMachEntries%c.CoMachWays != 0):
+		return fmt.Errorf("mach: bad CO-MACH shape %d/%d", c.CoMachEntries, c.CoMachWays)
+	}
+	return nil
+}
+
+// MabBytes returns the decoded bytes per mab.
+func (c Config) MabBytes() int { return c.MabSize * c.MabSize * codec.BytesPerPixel }
+
+// MetaBytesPerMatch returns the metadata cost of a matched mab: 4-byte
+// pointer/digest, plus the 3-byte base in gab mode (§4.3).
+func (c Config) MetaBytesPerMatch() int {
+	if c.Gradient {
+		return 7
+	}
+	return 4
+}
+
+// SRAMBytes returns the MACH tag/value store size, for the Table 2-style
+// overhead report. Each entry is a 4B digest + 4B pointer (+2B aux with
+// CO-MACH).
+func (c Config) SRAMBytes() int {
+	per := 8
+	if c.CoMach {
+		per += 2
+	}
+	total := (c.NumMACHs + 1) * c.EntriesPerMACH * per
+	if c.CoMach {
+		total += c.CoMachEntries * 10
+	}
+	return total
+}
+
+// Stats aggregates writeback behaviour across processed frames.
+type Stats struct {
+	Mabs         int64
+	IntraMatches int64
+	InterMatches int64
+	NoMatches    int64
+
+	CoMachHits         int64
+	AgedOut            int64 // inter matches rejected by pointer aging
+	DetectedCollisions int64 // CRC32 collisions caught by the CRC16 aux
+	FalseMatches       int64 // accepted matches with differing true content (TrackCollisions)
+
+	ContentBytes uint64 // unique content written to memory
+	MetaBytes    uint64 // pointers + digests + bases + bitmaps written
+	DumpBytes    uint64 // frozen-MACH dumps written (layout iii)
+	RawBytes     uint64 // what the baseline would have written
+
+	LineWrites int64 // 64B write transactions issued
+
+	// DigestMatches counts matches per digest when TrackPopularity is set.
+	DigestMatches map[uint32]int64
+}
+
+// MatchRate returns (intra+inter)/mabs.
+func (s Stats) MatchRate() float64 {
+	if s.Mabs == 0 {
+		return 0
+	}
+	return float64(s.IntraMatches+s.InterMatches) / float64(s.Mabs)
+}
+
+// BytesWritten returns all frame-buffer bytes written (content + metadata +
+// dumps).
+func (s Stats) BytesWritten() uint64 { return s.ContentBytes + s.MetaBytes + s.DumpBytes }
+
+// Savings returns the fractional reduction in written bytes vs the baseline
+// (Fig 9a's y-axis: positive is better; can be negative when metadata
+// overhead exceeds dedup wins).
+func (s Stats) Savings() float64 {
+	if s.RawBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.BytesWritten())/float64(s.RawBytes)
+}
+
+// WriteSink receives the line-granular memory writes the writeback engine
+// issues; the decoder IP routes them into the DRAM model. addr is
+// line-aligned. mabOrdinal is the index of the mab being processed when the
+// line drained, which the decoder maps to its pipeline timeline: writes
+// cluster where unique content is produced (noise, fresh detail) and go
+// quiet across matched stretches.
+type WriteSink func(addr uint64, size int, mabOrdinal int)
+
+// Writeback is the per-video MACH engine at the video decoder's writeback
+// stage. It is stateful across frames (frozen MACH history) and must be used
+// for frames in decode order of a single video.
+type Writeback struct {
+	cfg     Config
+	current *digestCache
+	history []*digestCache // newest first
+	co      *coMach
+
+	stats  Stats
+	shadow map[uint64][16]byte // ptr -> content fingerprint (TrackCollisions)
+
+	mabBuf []byte
+	gabBuf []byte
+	curMab int // ordinal of the mab currently being processed
+
+	// coalescing buffer fill levels and flush cursors
+	contentFill, ptrFill, baseFill int
+}
+
+// NewWriteback returns an engine for cfg, or an error for invalid configs.
+func NewWriteback(cfg Config) (*Writeback, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := &Writeback{
+		cfg:    cfg,
+		mabBuf: make([]byte, cfg.MabBytes()),
+		gabBuf: make([]byte, cfg.MabBytes()),
+	}
+	if cfg.TrackCollisions {
+		w.shadow = make(map[uint64][16]byte)
+	}
+	if cfg.TrackPopularity {
+		w.stats.DigestMatches = make(map[uint32]int64)
+	}
+	if cfg.CoMach {
+		w.co = newCoMach(cfg.CoMachEntries, cfg.CoMachWays)
+	}
+	return w, nil
+}
+
+// Config returns the engine configuration.
+func (w *Writeback) Config() Config { return w.cfg }
+
+// Stats returns the accumulated statistics.
+func (w *Writeback) Stats() Stats { return w.stats }
+
+// alignUp rounds v up to the next multiple of line.
+func alignUp(v uint64, line int) uint64 {
+	l := uint64(line)
+	return (v + l - 1) &^ (l - 1)
+}
+
+// coalesce accounts size bytes flowing through one of the coalescing
+// buffers, emitting full-line writes through sink. fill is the buffer's
+// current occupancy; cursor is the next line-aligned address of the stream.
+func (w *Writeback) coalesce(fill *int, cursor *uint64, size int, sink WriteSink) {
+	if !w.cfg.Coalesce {
+		// Every item becomes its own (padded) line transaction.
+		w.stats.LineWrites++
+		if sink != nil {
+			sink(*cursor, w.cfg.LineBytes, w.curMab)
+		}
+		*cursor += uint64(w.cfg.LineBytes)
+		return
+	}
+	*fill += size
+	for *fill >= w.cfg.LineBytes {
+		*fill -= w.cfg.LineBytes
+		w.stats.LineWrites++
+		if sink != nil {
+			sink(*cursor, w.cfg.LineBytes, w.curMab)
+		}
+		*cursor += uint64(w.cfg.LineBytes)
+	}
+}
+
+// flushPartial drains a coalescing buffer at frame end.
+func (w *Writeback) flushPartial(fill *int, cursor *uint64, sink WriteSink) {
+	if *fill > 0 {
+		*fill = 0
+		w.stats.LineWrites++
+		if sink != nil {
+			sink(*cursor, w.cfg.LineBytes, w.curMab)
+		}
+		*cursor += uint64(w.cfg.LineBytes)
+	}
+}
+
+// ProcessFrame runs the MACH writeback for one decoded frame. bufferBase is
+// the frame's buffer slot (content area first, metadata after); dumpBase is
+// where the frozen-MACH dump will live. sink, when non-nil, receives every
+// line write. The returned layout is what the display controller consumes.
+func (w *Writeback) ProcessFrame(fr *codec.Frame, displayIndex int, bufferBase, dumpBase uint64, sink WriteSink) *framebuf.FrameLayout {
+	cfg := w.cfg
+	n := cfg.MabSize
+	mabBytes := cfg.MabBytes()
+	numMabs := fr.NumMabs(n)
+	frameBytes := uint64(fr.SizeBytes())
+
+	layout := &framebuf.FrameLayout{
+		Kind:         cfg.Layout,
+		DisplayIndex: displayIndex,
+		MabBytes:     mabBytes,
+		Gradient:     cfg.Gradient,
+		BufferBase:   bufferBase,
+		MetaBase:     alignUp(bufferBase+frameBytes, cfg.LineBytes),
+		DumpBase:     dumpBase,
+		Records:      make([]framebuf.MabRecord, 0, numMabs),
+	}
+	w.stats.RawBytes += frameBytes
+
+	if cfg.Layout == framebuf.LayoutRaw {
+		// Baseline path: the full frame streams out sequentially.
+		w.processRaw(fr, layout, sink)
+		return layout
+	}
+
+	w.current = newDigestCachePolicy(cfg.EntriesPerMACH, cfg.Ways, cfg.Policy)
+	if cfg.CoMach {
+		w.co = newCoMach(cfg.CoMachEntries, cfg.CoMachWays) // per-frame (§6.3)
+	}
+
+	contentCursor := bufferBase
+	ptrCursor := layout.MetaBase
+	// Bases stream after the pointer array within the metadata area.
+	baseCursor := alignUp(layout.MetaBase+uint64(numMabs*4), cfg.LineBytes)
+	w.contentFill, w.ptrFill, w.baseFill = 0, 0, 0
+	var contentOff uint64
+
+	w.curMab = 0
+	for y0 := 0; y0 < fr.H; y0 += n {
+		for x0 := 0; x0 < fr.W; x0 += n {
+			w.stats.Mabs++
+			fr.CopyBlock(x0, y0, n, w.mabBuf)
+			content := w.mabBuf
+			var base [3]byte
+			if cfg.Gradient {
+				ComputeGab(w.mabBuf, &base, w.gabBuf)
+				content = w.gabBuf
+			}
+			digest := hashes.Digest32(cfg.Digest, content)
+			var aux uint16
+			if cfg.CoMach {
+				aux = hashes.CRC16CCITT(content)
+			}
+
+			ptr, origin, kind := w.match(digest, aux, displayIndex)
+			rec := framebuf.MabRecord{Base: base}
+
+			switch kind {
+			case matchNone:
+				addr := bufferBase + contentOff
+				contentOff += uint64(mabBytes)
+				rec.Kind = framebuf.RecFull
+				rec.Ptr = addr
+				w.stats.NoMatches++
+				w.stats.ContentBytes += uint64(mabBytes)
+				w.coalesce(&w.contentFill, &contentCursor, mabBytes, sink)
+				w.writeMeta(layout, &ptrCursor, &baseCursor, 4, sink)
+				w.insert(digest, aux, addr, displayIndex, content)
+			case matchIntra:
+				rec.Kind = framebuf.RecPointer
+				rec.Ptr = ptr
+				w.stats.IntraMatches++
+				w.notePopularity(digest)
+				w.noteFalseMatch(ptr, content)
+				w.writeMeta(layout, &ptrCursor, &baseCursor, 4, sink)
+			case matchInter:
+				w.stats.InterMatches++
+				w.notePopularity(digest)
+				w.noteFalseMatch(ptr, content)
+				if cfg.Layout == framebuf.LayoutPtrDigest {
+					rec.Kind = framebuf.RecDigest
+					rec.Digest = digest
+				} else {
+					rec.Kind = framebuf.RecPointer
+					rec.Ptr = ptr
+				}
+				w.writeMeta(layout, &ptrCursor, &baseCursor, 4, sink)
+				// The digest joins this frame's MACH (it is part of the
+				// frame's unique-content vocabulary), keeping the old
+				// pointer: later mabs of this frame match it as intra.
+				w.insert(digest, aux, ptr, origin, content)
+			}
+			layout.Records = append(layout.Records, rec)
+			w.curMab++
+		}
+	}
+
+	// Bitmap distinguishing pointer vs digest records (§5.1), layout iii.
+	if cfg.Layout == framebuf.LayoutPtrDigest {
+		bitmapBytes := (numMabs + 7) / 8
+		layout.MetaBytes += uint64(bitmapBytes)
+		w.stats.MetaBytes += uint64(bitmapBytes)
+		w.coalesce(&w.ptrFill, &ptrCursor, bitmapBytes, sink)
+	}
+
+	w.flushPartial(&w.contentFill, &contentCursor, sink)
+	w.flushPartial(&w.ptrFill, &ptrCursor, sink)
+	if cfg.Gradient {
+		w.flushPartial(&w.baseFill, &baseCursor, sink)
+	}
+
+	layout.ContentBytes = contentOff
+
+	// Freeze this frame's MACH: dump it for the display (layout iii) and
+	// push it onto the history searched by subsequent frames.
+	layout.Dump = w.current.dump()
+	if cfg.Layout == framebuf.LayoutPtrDigest {
+		dumpBytes := uint64(len(layout.Dump) * 8)
+		w.stats.DumpBytes += dumpBytes
+		for off := uint64(0); off < dumpBytes; off += uint64(cfg.LineBytes) {
+			w.stats.LineWrites++
+			if sink != nil {
+				sink(dumpBase+off, cfg.LineBytes, numMabs-1)
+			}
+		}
+	}
+	if cfg.NumMACHs > 0 {
+		w.history = append([]*digestCache{w.current}, w.history...)
+		if len(w.history) > cfg.NumMACHs {
+			w.history = w.history[:cfg.NumMACHs]
+		}
+	}
+	w.current = nil
+	return layout
+}
+
+func (w *Writeback) processRaw(fr *codec.Frame, layout *framebuf.FrameLayout, sink WriteSink) {
+	n := w.cfg.MabSize
+	mabBytes := w.cfg.MabBytes()
+	cursor := layout.BufferBase
+	fill := 0
+	var off uint64
+	w.curMab = 0
+	for y0 := 0; y0 < fr.H; y0 += n {
+		for x0 := 0; x0 < fr.W; x0 += n {
+			w.stats.Mabs++
+			w.stats.NoMatches++
+			layout.Records = append(layout.Records, framebuf.MabRecord{
+				Kind: framebuf.RecFull,
+				Ptr:  layout.BufferBase + off,
+			})
+			off += uint64(mabBytes)
+			w.stats.ContentBytes += uint64(mabBytes)
+			w.coalesce(&fill, &cursor, mabBytes, sink)
+			w.curMab++
+		}
+	}
+	w.flushPartial(&fill, &cursor, sink)
+	layout.ContentBytes = off
+}
+
+// writeMeta accounts the per-mab metadata stream: a 4-byte pointer or digest
+// plus, in gab mode, the 3-byte base.
+func (w *Writeback) writeMeta(layout *framebuf.FrameLayout, ptrCursor, baseCursor *uint64, ptrBytes int, sink WriteSink) {
+	layout.MetaBytes += uint64(ptrBytes)
+	w.stats.MetaBytes += uint64(ptrBytes)
+	w.coalesce(&w.ptrFill, ptrCursor, ptrBytes, sink)
+	if w.cfg.Gradient {
+		layout.MetaBytes += 3
+		w.stats.MetaBytes += 3
+		w.coalesce(&w.baseFill, baseCursor, 3, sink)
+	}
+}
+
+type matchKind int
+
+const (
+	matchNone matchKind = iota
+	matchIntra
+	matchInter
+)
+
+// match searches the current MACH, the frozen history, and CO-MACH. The
+// displayIndex is used for pointer aging: an inter match whose content
+// originates more than NumMACHs-1 frames back is rejected and the content
+// re-stored, which bounds how old a live frame-buffer reference can be and
+// so bounds the display's buffer retention window (§5.1, Fig 12a).
+func (w *Writeback) match(digest uint32, aux uint16, displayIndex int) (uint64, int, matchKind) {
+	useAux := w.cfg.CoMach
+	if ptr, origin, hit, coll := w.current.lookup(digest, aux, useAux); hit {
+		return ptr, origin, matchIntra
+	} else if coll {
+		w.stats.DetectedCollisions++
+	}
+	for _, h := range w.history {
+		if ptr, origin, hit, coll := h.lookup(digest, aux, useAux); hit {
+			if displayIndex-origin >= w.cfg.NumMACHs {
+				w.stats.AgedOut++
+				return 0, 0, matchNone
+			}
+			return ptr, origin, matchInter
+		} else if coll {
+			w.stats.DetectedCollisions++
+		}
+	}
+	if w.cfg.CoMach {
+		if ptr, hit := w.co.lookup(digest, aux); hit {
+			w.stats.CoMachHits++
+			return ptr, displayIndex, matchIntra // CO-MACH holds the current frame's collided entries
+		}
+	}
+	return 0, 0, matchNone
+}
+
+// insert places a content address into the current MACH, or into CO-MACH
+// when the digest slot is occupied by different content (detected via the
+// aux hash).
+func (w *Writeback) insert(digest uint32, aux uint16, addr uint64, origin int, content []byte) {
+	if w.cfg.CoMach {
+		if _, _, _, coll := w.current.lookup(digest, aux, true); coll {
+			w.co.insert(digest, aux, addr, origin)
+			if w.shadow != nil {
+				w.shadow[addr] = md5.Sum(content)
+			}
+			return
+		}
+	}
+	w.current.insert(digest, aux, addr, origin)
+	if w.shadow != nil {
+		w.shadow[addr] = md5.Sum(content)
+	}
+}
+
+func (w *Writeback) notePopularity(digest uint32) {
+	if w.stats.DigestMatches != nil {
+		w.stats.DigestMatches[digest]++
+	}
+}
+
+func (w *Writeback) noteFalseMatch(ptr uint64, content []byte) {
+	if w.shadow == nil {
+		return
+	}
+	if fp, ok := w.shadow[ptr]; ok && fp != md5.Sum(content) {
+		w.stats.FalseMatches++
+	}
+}

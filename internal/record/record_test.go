@@ -1,0 +1,103 @@
+package record
+
+import (
+	"testing"
+
+	"mach/internal/framebuf"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.FPS = 0
+	if bad.Validate() == nil {
+		t.Fatal("fps 0 should fail")
+	}
+	bad = DefaultConfig()
+	bad.EncoderPower = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero encoder power should fail")
+	}
+}
+
+func TestRecordingRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := Run(cfg, "V4", 96, 64, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != 8 {
+		t.Fatalf("frames = %d", res.Frames)
+	}
+	if res.CameraLineWrites == 0 || res.EncoderLineReads == 0 || res.BitstreamLineWrites == 0 {
+		t.Fatalf("traffic missing: %+v", res)
+	}
+	if res.TotalEnergy() <= 0 || res.WallTime <= 0 {
+		t.Fatal("energy/time must be positive")
+	}
+}
+
+func TestMachReducesRecordingTraffic(t *testing.T) {
+	on := DefaultConfig()
+	off := DefaultConfig()
+	off.UseMach = false
+
+	a, err := Run(on, "V4", 96, 64, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(off, "V4", 96, 64, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CameraLineWrites >= b.CameraLineWrites {
+		t.Fatalf("MACH camera writes %d should be < raw %d", a.CameraLineWrites, b.CameraLineWrites)
+	}
+	if a.MemAccesses() >= b.MemAccesses() {
+		t.Fatalf("MACH accesses %d should be < raw %d", a.MemAccesses(), b.MemAccesses())
+	}
+	if a.Mach.MatchRate() <= 0 {
+		t.Fatal("MACH must find matches in camera content")
+	}
+	if b.Mach.MatchRate() != 0 {
+		t.Fatal("raw mode must not match")
+	}
+}
+
+func TestRecordingDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := Run(cfg, "V9", 64, 64, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, "V9", 64, 64, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalEnergy() != b.TotalEnergy() || a.Mem != b.Mem {
+		t.Fatal("recording runs must be deterministic")
+	}
+}
+
+func TestRawModeUsesRawLayout(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseMach = false
+	res, err := Run(cfg, "V1", 64, 64, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw camera writes the full frame: 64*64*3 bytes / 64B = 192 lines/frame.
+	wantPerFrame := int64(64 * 64 * 3 / 64)
+	if got := res.CameraLineWrites / int64(res.Frames); got != wantPerFrame {
+		t.Fatalf("raw writes/frame = %d want %d", got, wantPerFrame)
+	}
+	_ = framebuf.LayoutRaw
+}
+
+func TestUnknownProfileFails(t *testing.T) {
+	if _, err := Run(DefaultConfig(), "V99", 64, 64, 2, 1); err == nil {
+		t.Fatal("unknown profile should fail")
+	}
+}

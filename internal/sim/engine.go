@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback scheduled to fire at a fixed virtual time.
+type Event struct {
+	At   Time
+	Name string // diagnostic label, may be empty
+	Fire func(now Time)
+
+	seq   uint64 // tie-break: FIFO among equal timestamps
+	index int    // heap bookkeeping; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.index == -2 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the pending event set. The zero value is
+// ready to use.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events not yet fired.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule registers fn to run at time at. Scheduling in the past panics:
+// that is always a model bug, not a recoverable condition.
+func (e *Engine) Schedule(at Time, name string, fn func(now Time)) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, at, e.now))
+	}
+	ev := &Event{At: at, Name: name, Fire: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, name string, fn func(now Time)) *Event {
+	return e.Schedule(e.now+d, name, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -2
+}
+
+// Halt stops Run/RunUntil after the currently firing event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step fires the single earliest pending event, advancing the clock to its
+// timestamp. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.At
+	e.fired++
+	ev.Fire(e.now)
+	return true
+}
+
+// Run fires events until the queue drains or Halt is called. It returns the
+// final virtual time.
+func (e *Engine) Run() Time {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with timestamps <= deadline, then sets the clock to
+// deadline (if it has not already passed it) and returns.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.halted = false
+	for !e.halted && len(e.queue) > 0 && e.queue[0].At <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}

@@ -1,0 +1,307 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: running summaries, histograms, CDFs over collected samples,
+// and weighted breakdowns. Everything is deterministic and allocation-light.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Running accumulates count/mean/variance/min/max in a single pass
+// (Welford's algorithm).
+type Running struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one sample into the summary.
+func (r *Running) Add(x float64) {
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// AddN folds n copies of x into the summary.
+func (r *Running) AddN(x float64, n int64) {
+	for i := int64(0); i < n; i++ {
+		r.Add(x)
+	}
+}
+
+// N returns the number of samples.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (r *Running) Max() float64 { return r.max }
+
+// Variance returns the unbiased sample variance.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Sum returns mean*n.
+func (r *Running) Sum() float64 { return r.mean * float64(r.n) }
+
+func (r *Running) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g", r.n, r.Mean(), r.StdDev(), r.min, r.max)
+}
+
+// Sample is an in-memory collection of float64 observations supporting exact
+// quantiles and CDF extraction.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns an empty sample with the given capacity hint.
+func NewSample(capacity int) *Sample {
+	return &Sample{xs: make([]float64, 0, capacity)}
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.xs) }
+
+// Values returns the observations in insertion order. The caller must not
+// mutate the returned slice.
+func (s *Sample) Values() []float64 { return s.xs }
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) by linear interpolation.
+// It returns NaN for an empty sample.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 1 {
+		return s.xs[len(s.xs)-1]
+	}
+	pos := q * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// FractionAbove returns the fraction of observations strictly greater than x.
+func (s *Sample) FractionAbove(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	i := sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(len(s.xs)-i) / float64(len(s.xs))
+}
+
+// FractionBetween returns the fraction of observations x with lo < x <= hi.
+func (s *Sample) FractionBetween(lo, hi float64) float64 {
+	return s.FractionAbove(lo) - s.FractionAbove(hi)
+}
+
+// CDFPoint is one point of an empirical CDF: fraction P of observations are
+// <= X.
+type CDFPoint struct {
+	X float64
+	P float64
+}
+
+// CDF returns an n-point empirical CDF (n >= 2), evenly spaced in
+// probability, suitable for plotting the paper's Fig 2-style curves.
+func (s *Sample) CDF(n int) []CDFPoint {
+	if len(s.xs) == 0 || n < 2 {
+		return nil
+	}
+	s.sort()
+	out := make([]CDFPoint, n)
+	for i := 0; i < n; i++ {
+		p := float64(i) / float64(n-1)
+		out[i] = CDFPoint{X: s.Quantile(p), P: p}
+	}
+	return out
+}
+
+// Histogram counts observations in fixed-width bins over [Lo, Hi). Samples
+// outside the range are clamped into the first/last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	total  int64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins across [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Fraction returns the share of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// Breakdown is a named, ordered set of non-negative components (for example
+// an energy split). Keys keep insertion order so reports are stable.
+type Breakdown struct {
+	keys []string
+	vals map[string]float64
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{vals: make(map[string]float64)}
+}
+
+// Add accumulates v into component key, creating it on first use.
+func (b *Breakdown) Add(key string, v float64) {
+	if _, ok := b.vals[key]; !ok {
+		b.keys = append(b.keys, key)
+	}
+	b.vals[key] += v
+}
+
+// Get returns the value of key (0 when absent).
+func (b *Breakdown) Get(key string) float64 { return b.vals[key] }
+
+// Keys returns the component names in insertion order.
+func (b *Breakdown) Keys() []string { return b.keys }
+
+// Total returns the sum of all components, accumulated in insertion order
+// so the floating-point result is deterministic.
+func (b *Breakdown) Total() float64 {
+	t := 0.0
+	for _, k := range b.keys {
+		t += b.vals[k]
+	}
+	return t
+}
+
+// Share returns component key as a fraction of the total (0 when empty).
+func (b *Breakdown) Share(key string) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return b.vals[key] / t
+}
+
+// Scale multiplies every component by f, returning b.
+func (b *Breakdown) Scale(f float64) *Breakdown {
+	for _, k := range b.keys {
+		b.vals[k] *= f
+	}
+	return b
+}
+
+// AddAll folds every component of other into b.
+func (b *Breakdown) AddAll(other *Breakdown) {
+	for _, k := range other.keys {
+		b.Add(k, other.vals[k])
+	}
+}
+
+// Clone returns a deep copy.
+func (b *Breakdown) Clone() *Breakdown {
+	c := NewBreakdown()
+	c.AddAll(b)
+	return c
+}
+
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	t := b.Total()
+	for i, k := range b.keys {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		pct := 0.0
+		if t != 0 {
+			pct = 100 * b.vals[k] / t
+		}
+		fmt.Fprintf(&sb, "%s=%.4g(%.1f%%)", k, b.vals[k], pct)
+	}
+	return sb.String()
+}

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunning(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("n = %d", r.N())
+	}
+	if r.Mean() != 5 {
+		t.Fatalf("mean = %v", r.Mean())
+	}
+	if got := r.StdDev(); math.Abs(got-2.13809) > 1e-4 {
+		t.Fatalf("sd = %v", got)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", r.Min(), r.Max())
+	}
+	if r.Sum() != 40 {
+		t.Fatalf("sum = %v", r.Sum())
+	}
+}
+
+func TestRunningMatchesDirectComputation(t *testing.T) {
+	f := func(xs []float64) bool {
+		var r Running
+		sum := 0.0
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				ok = false
+				break
+			}
+			r.Add(x)
+			sum += x
+		}
+		if !ok || len(xs) == 0 {
+			return true
+		}
+		mean := sum / float64(len(xs))
+		scale := math.Max(1, math.Abs(mean))
+		return math.Abs(r.Mean()-mean) < 1e-6*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleQuantile(t *testing.T) {
+	s := NewSample(0)
+	for i := 100; i >= 1; i-- {
+		s.Add(float64(i))
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := s.Quantile(0.5); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("median = %v", got)
+	}
+	if !math.IsNaN(NewSample(0).Quantile(0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestSampleFractions(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.FractionAbove(7); got != 0.3 {
+		t.Fatalf("above 7 = %v", got)
+	}
+	if got := s.FractionAbove(10); got != 0 {
+		t.Fatalf("above 10 = %v", got)
+	}
+	if got := s.FractionBetween(3, 7); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("between (3,7] = %v", got)
+	}
+}
+
+func TestSampleCDF(t *testing.T) {
+	s := NewSample(0)
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	cdf := s.CDF(11)
+	if len(cdf) != 11 {
+		t.Fatalf("len = %d", len(cdf))
+	}
+	if cdf[0].P != 0 || cdf[10].P != 1 {
+		t.Fatalf("endpoints %+v %+v", cdf[0], cdf[10])
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].X < cdf[i-1].X {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-5) // clamps into first bin
+	h.Add(99) // clamps into last bin
+	if h.Total() != 12 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Counts[0] != 3 || h.Counts[4] != 3 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Fatalf("center0 = %v", got)
+	}
+	if got := h.Fraction(1); got != 2.0/12 {
+		t.Fatalf("fraction = %v", got)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := NewBreakdown()
+	b.Add("mem", 3)
+	b.Add("vd", 1)
+	b.Add("mem", 1)
+	if b.Total() != 5 {
+		t.Fatalf("total = %v", b.Total())
+	}
+	if b.Get("mem") != 4 {
+		t.Fatalf("mem = %v", b.Get("mem"))
+	}
+	if b.Share("vd") != 0.2 {
+		t.Fatalf("share = %v", b.Share("vd"))
+	}
+	keys := b.Keys()
+	if len(keys) != 2 || keys[0] != "mem" || keys[1] != "vd" {
+		t.Fatalf("keys = %v", keys)
+	}
+	c := b.Clone()
+	c.Add("dc", 5)
+	if b.Get("dc") != 0 {
+		t.Fatal("clone aliases parent")
+	}
+	b.Scale(2)
+	if b.Get("mem") != 8 {
+		t.Fatalf("scaled mem = %v", b.Get("mem"))
+	}
+	other := NewBreakdown()
+	other.Add("vd", 10)
+	b.AddAll(other)
+	if b.Get("vd") != 12 {
+		t.Fatalf("vd after AddAll = %v", b.Get("vd"))
+	}
+	if s := b.String(); !strings.Contains(s, "mem=") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("scheme", "energy")
+	tb.AddRow("baseline", 1.0)
+	tb.AddRow("gab", 0.79)
+	out := tb.String()
+	if !strings.Contains(out, "baseline") || !strings.Contains(out, "0.79") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+}

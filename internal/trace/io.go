@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mach/internal/codec"
+)
+
+// Binary trace format: a compact varint-based encoding so traces can be
+// recorded once (cmd/vgen) and replayed by later runs without re-encoding.
+//
+//	magic "MTRC" | version uvarint | header | frames
+//
+// Pixels are stored with a trivial byte-wise RLE, which compresses the
+// synthetic workloads' flat regions well while staying dependency-free.
+
+const (
+	magic   = "MTRC"
+	version = 1
+)
+
+type wireHeader struct {
+	Profile string       `json:"profile"`
+	FPS     int          `json:"fps"`
+	Params  codec.Params `json:"params"`
+	Frames  int          `json:"frames"`
+}
+
+// Save writes the trace in binary form.
+func (t *Trace) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	writeUvarint(bw, version)
+	hdr, err := json.Marshal(wireHeader{Profile: t.Profile, FPS: t.FPS, Params: t.Params, Frames: len(t.Frames)})
+	if err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(hdr)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	for i := range t.Frames {
+		if err := writeFrame(bw, &t.Frames[i]); err != nil {
+			return fmt.Errorf("trace: frame %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a binary trace written by Save.
+func Load(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, err
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", got)
+	}
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	hlen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	hraw := make([]byte, hlen)
+	if _, err := io.ReadFull(br, hraw); err != nil {
+		return nil, err
+	}
+	var hdr wireHeader
+	if err := json.Unmarshal(hraw, &hdr); err != nil {
+		return nil, err
+	}
+	if err := hdr.Params.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Trace{Profile: hdr.Profile, FPS: hdr.FPS, Params: hdr.Params, Frames: make([]Frame, hdr.Frames)}
+	for i := 0; i < hdr.Frames; i++ {
+		if err := readFrame(br, hdr.Params, &t.Frames[i]); err != nil {
+			return nil, fmt.Errorf("trace: frame %d: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeVarint(w *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeFrame(w *bufio.Writer, f *Frame) error {
+	writeUvarint(w, uint64(f.Type))
+	writeUvarint(w, uint64(f.DisplayIndex))
+	writeUvarint(w, uint64(f.EncodedBytes))
+	// Work records. TotalBits is stored explicitly: it includes frame
+	// header bits beyond the per-mab sum.
+	writeUvarint(w, uint64(f.Work.TotalBits))
+	writeUvarint(w, uint64(len(f.Work.Mabs)))
+	for _, m := range f.Work.Mabs {
+		writeUvarint(w, uint64(m.Type))
+		writeUvarint(w, uint64(m.Bits))
+		writeUvarint(w, uint64(m.Nonzero))
+		writeUvarint(w, uint64(m.RefReads))
+		writeVarint(w, int64(m.MV.DX))
+		writeVarint(w, int64(m.MV.DY))
+		writeVarint(w, int64(m.MVB.DX))
+		writeVarint(w, int64(m.MVB.DY))
+		writeVarint(w, int64(m.MVF.DX))
+		writeVarint(w, int64(m.MVF.DY))
+		writeUvarint(w, uint64(m.Mode))
+	}
+	// Pixels: byte-wise RLE (value, runLen).
+	pix := f.Decoded.Pix
+	for i := 0; i < len(pix); {
+		j := i + 1
+		for j < len(pix) && pix[j] == pix[i] && j-i < 1<<20 {
+			j++
+		}
+		if err := w.WriteByte(pix[i]); err != nil {
+			return err
+		}
+		writeUvarint(w, uint64(j-i))
+		i = j
+	}
+	return w.WriteByte(0xA5) // frame sentinel
+}
+
+func readFrame(r *bufio.Reader, p codec.Params, f *Frame) error {
+	readU := func() (uint64, error) { return binary.ReadUvarint(r) }
+	readS := func() (int64, error) { return binary.ReadVarint(r) }
+
+	ft, err := readU()
+	if err != nil {
+		return err
+	}
+	di, err := readU()
+	if err != nil {
+		return err
+	}
+	eb, err := readU()
+	if err != nil {
+		return err
+	}
+	f.Type = codec.FrameType(ft)
+	f.DisplayIndex = int(di)
+	f.EncodedBytes = int(eb)
+
+	totalBits, err := readU()
+	if err != nil {
+		return err
+	}
+	nm, err := readU()
+	if err != nil {
+		return err
+	}
+	if nm > uint64(p.MabsPerFrame()) {
+		return fmt.Errorf("mab count %d exceeds %d", nm, p.MabsPerFrame())
+	}
+	work := &codec.FrameWork{Type: f.Type, DisplayIndex: f.DisplayIndex, Mabs: make([]codec.MabWork, nm)}
+	for i := range work.Mabs {
+		m := &work.Mabs[i]
+		vals := make([]uint64, 4)
+		for k := range vals {
+			if vals[k], err = readU(); err != nil {
+				return err
+			}
+		}
+		m.Type = codec.MabType(vals[0])
+		m.Bits = int32(vals[1])
+		m.Nonzero = int16(vals[2])
+		m.RefReads = int8(vals[3])
+		svals := make([]int64, 6)
+		for k := range svals {
+			if svals[k], err = readS(); err != nil {
+				return err
+			}
+		}
+		m.MV = codec.MotionVector{DX: int8(svals[0]), DY: int8(svals[1])}
+		m.MVB = codec.MotionVector{DX: int8(svals[2]), DY: int8(svals[3])}
+		m.MVF = codec.MotionVector{DX: int8(svals[4]), DY: int8(svals[5])}
+		mode, err := readU()
+		if err != nil {
+			return err
+		}
+		m.Mode = codec.IntraMode(mode)
+		switch m.Type {
+		case codec.MabI:
+			work.CountI++
+		case codec.MabP:
+			work.CountP++
+		case codec.MabB:
+			work.CountB++
+		}
+	}
+	work.TotalBits = int64(totalBits)
+	f.Work = work
+
+	fr := codec.NewFrame(p.Width, p.Height)
+	for i := 0; i < len(fr.Pix); {
+		v, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		run, err := readU()
+		if err != nil {
+			return err
+		}
+		if run == 0 || i+int(run) > len(fr.Pix) {
+			return fmt.Errorf("pixel RLE overrun at %d (+%d)", i, run)
+		}
+		for k := 0; k < int(run); k++ {
+			fr.Pix[i+k] = v
+		}
+		i += int(run)
+	}
+	f.Decoded = fr
+	sentinel, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if sentinel != 0xA5 {
+		return fmt.Errorf("bad frame sentinel %#x", sentinel)
+	}
+	return nil
+}
+
+// Summary is the JSON-exportable digest of a trace (no pixel payload).
+type Summary struct {
+	Profile         string  `json:"profile"`
+	FPS             int     `json:"fps"`
+	Width           int     `json:"width"`
+	Height          int     `json:"height"`
+	MabSize         int     `json:"mab_size"`
+	Frames          int     `json:"frames"`
+	EncodedBytes    int     `json:"encoded_bytes"`
+	MabsI           int     `json:"mabs_i"`
+	MabsP           int     `json:"mabs_p"`
+	MabsB           int     `json:"mabs_b"`
+	AvgBitsPerFrame float64 `json:"avg_bits_per_frame"`
+}
+
+// Summarize computes the trace digest.
+func (t *Trace) Summarize() Summary {
+	s := Summary{
+		Profile: t.Profile,
+		FPS:     t.FPS,
+		Width:   t.Params.Width,
+		Height:  t.Params.Height,
+		MabSize: t.Params.MabSize,
+		Frames:  len(t.Frames),
+	}
+	var bits int64
+	for i := range t.Frames {
+		f := &t.Frames[i]
+		s.EncodedBytes += f.EncodedBytes
+		s.MabsI += f.Work.CountI
+		s.MabsP += f.Work.CountP
+		s.MabsB += f.Work.CountB
+		bits += f.Work.TotalBits
+	}
+	if len(t.Frames) > 0 {
+		s.AvgBitsPerFrame = float64(bits) / float64(len(t.Frames))
+	}
+	return s
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Summarize())
+}

@@ -1,0 +1,100 @@
+// Package trace builds and serializes decode traces: the per-frame decoded
+// pixels plus the per-mab work records the timing models replay. This mirrors
+// the paper's methodology (FFmpeg + pintool traces replayed through the
+// GemDroid platform): the functional decode happens once per workload, and
+// each scheme under test replays the same trace through the timing and
+// energy models, so scheme comparisons are content-identical by construction.
+package trace
+
+import (
+	"fmt"
+
+	"mach/internal/codec"
+)
+
+// Frame is one decode-order entry of a trace.
+type Frame struct {
+	Type         codec.FrameType
+	DisplayIndex int
+	EncodedBytes int
+	Decoded      *codec.Frame
+	Work         *codec.FrameWork
+}
+
+// Trace is a fully decoded workload.
+type Trace struct {
+	Profile string // workload key, e.g. "V7"
+	FPS     int
+	Params  codec.Params
+	Frames  []Frame // decode order
+}
+
+// Build decodes an encoded stream into a trace.
+func Build(profileKey string, fps int, params codec.Params, encoded []*codec.EncodedFrame) (*Trace, error) {
+	dec, err := codec.NewDecoder(params)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Profile: profileKey, FPS: fps, Params: params, Frames: make([]Frame, 0, len(encoded))}
+	for _, ef := range encoded {
+		fr, work, err := dec.Decode(ef)
+		if err != nil {
+			return nil, fmt.Errorf("trace: decoding frame %d: %w", ef.DisplayIndex, err)
+		}
+		tr.Frames = append(tr.Frames, Frame{
+			Type:         ef.Type,
+			DisplayIndex: ef.DisplayIndex,
+			EncodedBytes: ef.SizeBytes(),
+			Decoded:      fr,
+			Work:         work,
+		})
+	}
+	return tr, nil
+}
+
+// NumFrames returns the frame count.
+func (t *Trace) NumFrames() int { return len(t.Frames) }
+
+// FramePeriod returns the display interval implied by FPS, in seconds.
+func (t *Trace) FramePeriod() float64 {
+	if t.FPS <= 0 {
+		return 1.0 / 60
+	}
+	return 1.0 / float64(t.FPS)
+}
+
+// DecodedBytesPerFrame returns the decoded frame footprint.
+func (t *Trace) DecodedBytesPerFrame() int {
+	return t.Params.Width * t.Params.Height * codec.BytesPerPixel
+}
+
+// Validate checks internal consistency (sizes, mab counts, display-index
+// coverage) and returns a descriptive error for a malformed trace.
+func (t *Trace) Validate() error {
+	if t.Params.Validate() != nil {
+		return fmt.Errorf("trace: invalid params")
+	}
+	want := t.Params.MabsPerFrame()
+	seen := make(map[int]bool, len(t.Frames))
+	for i, fr := range t.Frames {
+		if fr.Decoded == nil || fr.Work == nil {
+			return fmt.Errorf("trace: frame %d missing payload", i)
+		}
+		if fr.Decoded.W != t.Params.Width || fr.Decoded.H != t.Params.Height {
+			return fmt.Errorf("trace: frame %d size %dx%d", i, fr.Decoded.W, fr.Decoded.H)
+		}
+		if len(fr.Work.Mabs) != want {
+			return fmt.Errorf("trace: frame %d has %d mab works, want %d", i, len(fr.Work.Mabs), want)
+		}
+		if seen[fr.DisplayIndex] {
+			return fmt.Errorf("trace: duplicate display index %d", fr.DisplayIndex)
+		}
+		seen[fr.DisplayIndex] = true
+	}
+	for i := range t.Frames {
+		if !seen[i] {
+			return fmt.Errorf("trace: display index %d missing", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package video
+
+import (
+	"testing"
+
+	"mach/internal/mach"
+	"mach/internal/trace"
+)
+
+// These tests pin the content calibration: the synthetic workloads must
+// keep producing decoded streams whose similarity statistics stay in the
+// neighbourhood of the paper's measurements (Fig 7b: 42% intra, 15% inter,
+// 43% none for exact-mab matching over 16 frames). They are regression nets
+// for generator changes, with deliberately wide tolerance bands.
+
+func TestContentSimilarityCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesizes several workloads")
+	}
+	an := mach.NewAnalyzer(16, 4, false)
+	gab := mach.NewAnalyzer(16, 4, true)
+	for _, key := range []string{"V1", "V5", "V9", "V14"} {
+		prof, err := ProfileByKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Synthesize(prof, StreamConfig{Width: 320, Height: 180, NumFrames: 48, Seed: 2, MabSize: 4, Quant: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := trace.Build(prof.Key, prof.FPS, st.Params, st.Encoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tr.Frames {
+			an.ProcessFrame(tr.Frames[i].Decoded)
+			gab.ProcessFrame(tr.Frames[i].Decoded)
+		}
+	}
+	check := func(name string, got, lo, hi float64) {
+		t.Helper()
+		if got < lo || got > hi {
+			t.Errorf("%s = %.1f%% outside [%.0f%%, %.0f%%]", name, 100*got, 100*lo, 100*hi)
+		}
+	}
+	// Paper targets: 42 / 15 / 43. Bands allow for the 4-video subset.
+	check("mab intra", an.IntraRate(), 0.30, 0.52)
+	check("mab inter", an.InterRate(), 0.15, 0.35)
+	check("mab none", an.NoMatchRate(), 0.33, 0.53)
+	// gab must be strictly more matchy than mab (the ramp band).
+	if gab.IntraRate() <= an.IntraRate() {
+		t.Errorf("gab intra %.2f should exceed mab %.2f", gab.IntraRate(), an.IntraRate())
+	}
+}
+
+// TestEncodedFrameTypeCosts pins the decode-cost structure race-to-sleep
+// depends on: I frames (scene cuts, GOP starts) must carry clearly more
+// entropy bits than P frames, but not so much more that one I frame stalls
+// the pipeline for many periods (the drop-cascade regime).
+func TestEncodedFrameTypeCosts(t *testing.T) {
+	prof, _ := ProfileByKey("V9")
+	st, err := Synthesize(prof, StreamConfig{Width: 320, Height: 180, NumFrames: 48, Seed: 3, MabSize: 4, Quant: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Build(prof.Key, prof.FPS, st.Params, st.Encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iBits, pBits, iN, pN int64
+	for i := range tr.Frames {
+		f := &tr.Frames[i]
+		switch f.Type {
+		case 0: // I
+			iBits += f.Work.TotalBits
+			iN++
+		case 1: // P
+			pBits += f.Work.TotalBits
+			pN++
+		}
+	}
+	if iN == 0 || pN == 0 {
+		t.Fatalf("frame mix I=%d P=%d", iN, pN)
+	}
+	ratio := float64(iBits/iN) / float64(pBits/pN)
+	if ratio < 1.2 || ratio > 3.5 {
+		t.Fatalf("I/P bit ratio = %.2f outside [1.2, 3.5]", ratio)
+	}
+}

@@ -1,0 +1,345 @@
+package video
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mach/internal/codec"
+)
+
+// Generator produces the raw (pre-encode) frames of one synthetic workload.
+// It is deterministic for a given (profile, size, seed) triple.
+type Generator struct {
+	prof Profile
+	w, h int
+	rng  *rand.Rand
+
+	frameIdx  int
+	rampDrift int // per-frame base offset of the ramp band
+	sc        scene
+}
+
+// scene is the content state between scene cuts.
+type scene struct {
+	flatColors [][3]byte
+	// block-ramp parameters: per-mab base stepping (zero-gradient mabs with
+	// varying bases — the pure-colour content that makes gabs dominate).
+	rampBase  [3]int
+	rampStepX int
+	rampStepY int
+
+	tile    []byte // mosaic texture tile, period x period RGB
+	detail  []byte // static high-frequency band content, regenerated on cuts
+	detailW int
+	detailH int
+	dup     []byte // half-height patch drawn twice (long-distance repeats)
+	dupH    int    // height of one copy
+	sprites []sprite
+}
+
+type sprite struct {
+	x, y   int
+	vx, vy int
+	w, h   int
+	color  [3]byte
+}
+
+// bandLayout describes the vertical partition of the frame.
+type bandLayout struct {
+	flatH, rampH, texH, noiseH, dupH, detailH int
+}
+
+// NewGenerator returns a generator for prof at w x h; it panics on invalid
+// profiles (a construction-time bug) and errors on invalid sizes.
+func NewGenerator(prof Profile, w, h int, seed int64) (*Generator, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	if w%4 != 0 || h%4 != 0 || w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("video: size %dx%d not a positive multiple of 4", w, h)
+	}
+	g := &Generator{prof: prof, w: w, h: h, rng: rand.New(rand.NewSource(seed))}
+	g.reseed()
+	return g, nil
+}
+
+// Profile returns the generator's workload profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// layout rounds band heights to mab multiples; detail absorbs the remainder.
+func (g *Generator) layout() bandLayout {
+	quant := func(f float64) int {
+		px := int(f*float64(g.h)/4+0.5) * 4
+		if px < 0 {
+			px = 0
+		}
+		return px
+	}
+	var l bandLayout
+	l.flatH = quant(g.prof.FlatFraction)
+	l.rampH = quant(g.prof.RampFraction)
+	l.texH = quant(g.prof.TextureFraction)
+	l.noiseH = quant(g.prof.NoiseFraction)
+	// The dup band holds two identical copies, so it must split evenly
+	// into two mab-aligned halves.
+	l.dupH = quant(g.prof.DupFraction) / 8 * 8
+	used := l.flatH + l.rampH + l.texH + l.noiseH + l.dupH
+	if used > g.h {
+		// Shrink the largest bands until the layout fits.
+		for used > g.h {
+			switch {
+			case l.dupH >= l.noiseH && l.dupH >= l.flatH && l.dupH >= l.rampH && l.dupH >= l.texH:
+				l.dupH -= 8
+			case l.noiseH >= l.flatH && l.noiseH >= l.rampH && l.noiseH >= l.texH:
+				l.noiseH -= 4
+			case l.flatH >= l.rampH && l.flatH >= l.texH:
+				l.flatH -= 4
+			case l.texH >= l.rampH:
+				l.texH -= 4
+			default:
+				l.rampH -= 4
+			}
+			used = l.flatH + l.rampH + l.texH + l.noiseH + l.dupH
+		}
+	}
+	l.detailH = g.h - used
+	return l
+}
+
+// reseed regenerates all per-scene content (a scene cut).
+func (g *Generator) reseed() {
+	p := g.prof
+	g.sc.flatColors = g.sc.flatColors[:0]
+	for i := 0; i < p.FlatColors; i++ {
+		g.sc.flatColors = append(g.sc.flatColors, [3]byte{
+			byte(32 + g.rng.Intn(192)),
+			byte(32 + g.rng.Intn(192)),
+			byte(32 + g.rng.Intn(192)),
+		})
+	}
+	for c := 0; c < 3; c++ {
+		g.sc.rampBase[c] = 40 + g.rng.Intn(60)
+	}
+	g.sc.rampStepX = 2 + g.rng.Intn(4)
+	g.sc.rampStepY = 1 + g.rng.Intn(3)
+
+	// Mosaic texture tile: period x period of solid 4x4 cells so it encodes
+	// exactly and repeats exactly.
+	t := p.TexturePeriod
+	g.sc.tile = make([]byte, t*t*3)
+	for cy := 0; cy < t/4; cy++ {
+		for cx := 0; cx < t/4; cx++ {
+			col := [3]byte{
+				byte(g.rng.Intn(256)),
+				byte(g.rng.Intn(256)),
+				byte(g.rng.Intn(256)),
+			}
+			for dy := 0; dy < 4; dy++ {
+				for dx := 0; dx < 4; dx++ {
+					o := ((cy*4+dy)*t + cx*4 + dx) * 3
+					g.sc.tile[o], g.sc.tile[o+1], g.sc.tile[o+2] = col[0], col[1], col[2]
+				}
+			}
+		}
+	}
+
+	// Static detail: unique-per-mab high-frequency content that persists
+	// until the next cut.
+	l := g.layout()
+	g.sc.detailW, g.sc.detailH = g.w, l.detailH
+	g.sc.detail = make([]byte, g.w*l.detailH*3)
+	amp := p.DetailAmplitude
+	for i := range g.sc.detail {
+		g.sc.detail[i] = noiseByte(g.rng, amp)
+	}
+
+	// Dup patch: one static random half-band, drawn twice per frame. The
+	// two copies are exact repeats whose distance exceeds MACH capacity.
+	g.sc.dupH = l.dupH / 2
+	g.sc.dup = make([]byte, g.w*g.sc.dupH*3)
+	for i := range g.sc.dup {
+		g.sc.dup[i] = noiseByte(g.rng, amp)
+	}
+
+	// Sprites: flat rectangles, mab-aligned sizes, speeds within the
+	// encoder's search radius.
+	g.sc.sprites = g.sc.sprites[:0]
+	for i := 0; i < p.NumSprites; i++ {
+		w := (2 + g.rng.Intn(4)) * 4
+		h := (2 + g.rng.Intn(4)) * 4
+		sp := sprite{
+			x: g.rng.Intn(maxInt(1, g.w-w)),
+			y: g.rng.Intn(maxInt(1, g.h-h)),
+			w: w, h: h,
+			color: [3]byte{byte(g.rng.Intn(256)), byte(g.rng.Intn(256)), byte(g.rng.Intn(256))},
+		}
+		for sp.vx == 0 && sp.vy == 0 {
+			sp.vx = g.rng.Intn(2*p.SpriteSpeed+1) - p.SpriteSpeed
+			sp.vy = g.rng.Intn(2*p.SpriteSpeed+1) - p.SpriteSpeed
+		}
+		g.sc.sprites = append(g.sc.sprites, sp)
+	}
+}
+
+// clampColor keeps ramp colours off the 0/255 rails so the quantized codec
+// reconstructs them exactly (constant residuals are lossless).
+func clampColor(v int) byte {
+	if v < 8 {
+		v = 8
+	}
+	if v > 247 {
+		v = 247
+	}
+	return byte(v)
+}
+
+func noiseByte(rng *rand.Rand, amp float64) byte {
+	v := 128 + int(float64(rng.Intn(256)-128)*amp)
+	if v < 0 {
+		v = 0
+	}
+	if v > 255 {
+		v = 255
+	}
+	return byte(v)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Frame synthesizes the next raw frame in display order.
+func (g *Generator) Frame() *codec.Frame {
+	p := g.prof
+	if p.SceneCutEvery > 0 && g.frameIdx > 0 && g.frameIdx%p.SceneCutEvery == 0 {
+		g.reseed()
+	}
+	f := codec.NewFrame(g.w, g.h)
+	l := g.layout()
+	y := 0
+
+	// Flat band: vertical patches of solid colour.
+	if l.flatH > 0 {
+		patchW := g.w / len(g.sc.flatColors)
+		for yy := y; yy < y+l.flatH; yy++ {
+			for x := 0; x < g.w; x++ {
+				pi := minInt(x/maxInt(4, patchW), len(g.sc.flatColors)-1)
+				c := g.sc.flatColors[pi]
+				f.Set(x, yy, c[0], c[1], c[2])
+			}
+		}
+		y += l.flatH
+	}
+
+	// Block-ramp band: solid 4x4 mabs whose base steps across the band,
+	// drifting by one level per frame (a slow animated gradient). Every
+	// mab's colour triple is unique within the band and changes every
+	// frame, so mab-mode matching finds nothing here — while gab mode maps
+	// them all onto the zero gradient regardless of drift. This band is
+	// the content behind the mab-vs-gab gap (Fig 9).
+	if l.rampH > 0 {
+		drift := g.rampDrift % 64
+		for my := 0; my < l.rampH/4; my++ {
+			for mx := 0; mx < g.w/4; mx++ {
+				col := [3]byte{
+					clampColor(g.sc.rampBase[0] + mx*2 + drift),
+					clampColor(g.sc.rampBase[1] + my*g.sc.rampStepY + drift),
+					clampColor(g.sc.rampBase[2] + mx + my*2 + drift),
+				}
+				for dy := 0; dy < 4; dy++ {
+					for dx := 0; dx < 4; dx++ {
+						f.Set(mx*4+dx, y+my*4+dy, col[0], col[1], col[2])
+					}
+				}
+			}
+		}
+		y += l.rampH
+	}
+
+	// Texture band: the mosaic tile repeated.
+	if l.texH > 0 {
+		t := p.TexturePeriod
+		for yy := 0; yy < l.texH; yy++ {
+			for x := 0; x < g.w; x++ {
+				o := ((yy%t)*t + x%t) * 3
+				f.Set(x, y+yy, g.sc.tile[o], g.sc.tile[o+1], g.sc.tile[o+2])
+			}
+		}
+		y += l.texH
+	}
+
+	// Noise band: regenerated every frame; defeats every predictor.
+	if l.noiseH > 0 {
+		amp := p.DetailAmplitude
+		for yy := y; yy < y+l.noiseH; yy++ {
+			for x := 0; x < g.w; x++ {
+				f.Set(x, yy, noiseByte(g.rng, amp), noiseByte(g.rng, amp), noiseByte(g.rng, amp))
+			}
+		}
+		y += l.noiseH
+	}
+
+	// Detail band: static high-frequency content.
+	if l.detailH > 0 {
+		for yy := 0; yy < l.detailH; yy++ {
+			row := yy * g.w * 3
+			dst := f.Offset(0, y+yy)
+			copy(f.Pix[dst:dst+g.w*3], g.sc.detail[row:row+g.w*3])
+		}
+		y += l.detailH
+	}
+
+	// Dup band: the same static patch twice.
+	if l.dupH > 0 {
+		for copyIdx := 0; copyIdx < 2; copyIdx++ {
+			for yy := 0; yy < g.sc.dupH; yy++ {
+				row := yy * g.w * 3
+				dst := f.Offset(0, y+yy)
+				copy(f.Pix[dst:dst+g.w*3], g.sc.dup[row:row+g.w*3])
+			}
+			y += g.sc.dupH
+		}
+	}
+
+	// Sprites on top, then advance them.
+	for i := range g.sc.sprites {
+		sp := &g.sc.sprites[i]
+		for dy := 0; dy < sp.h; dy++ {
+			yy := sp.y + dy
+			if yy < 0 || yy >= g.h {
+				continue
+			}
+			for dx := 0; dx < sp.w; dx++ {
+				xx := sp.x + dx
+				if xx < 0 || xx >= g.w {
+					continue
+				}
+				f.Set(xx, yy, sp.color[0], sp.color[1], sp.color[2])
+			}
+		}
+		sp.x += sp.vx
+		sp.y += sp.vy
+		if sp.x < 0 || sp.x+sp.w > g.w {
+			sp.vx = -sp.vx
+			sp.x += 2 * sp.vx
+		}
+		if sp.y < 0 || sp.y+sp.h > g.h {
+			sp.vy = -sp.vy
+			sp.y += 2 * sp.vy
+		}
+	}
+
+	g.frameIdx++
+	g.rampDrift++
+	return f
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,218 @@
+// Package video synthesizes the 16 workload videos of the paper's Table 1.
+//
+// The real videos (YouTube 4K content decoded with FFmpeg) are not
+// redistributable, so each is replaced by a deterministic scene generator
+// whose *decoded-content statistics* are what MACH actually consumes:
+//
+//   - flat regions: solid-colour areas. Their mabs are identical, producing
+//     intra matches; across different colours they share the all-zero
+//     gradient block, producing the gab > mab gap of Fig 9b.
+//   - ramp regions: diagonal colour gradients. Each mab differs from its
+//     neighbour only in base pixel, so they match as gabs but not as mabs.
+//   - texture regions: a per-scene random tile repeated across the region,
+//     producing intra matches at tile period.
+//   - detail regions: per-scene random pixels that stay fixed between scene
+//     cuts, producing inter (cross-frame) matches but no intra matches.
+//   - noise regions: regenerated every frame — no matches, and the main
+//     driver of per-frame decode cost (entropy bits, residual energy).
+//   - sprites: moving rectangles that force motion-compensated mabs and
+//     spread content across addresses while keeping it match-able by value.
+//
+// Scene cuts re-seed the per-scene content, which produces the expensive
+// I-frames responsible for the paper's Region I/II frames (drops and short
+// slacks).
+package video
+
+import "fmt"
+
+// Profile describes one synthetic workload, mirroring a row of Table 1.
+type Profile struct {
+	Key         string // V1..V16
+	Name        string
+	Description string
+	TableFrames int // frame count reported in Table 1 (documentation)
+
+	// Area fractions; they should sum to <= 1, the remainder is detail.
+	FlatFraction    float64
+	RampFraction    float64
+	TextureFraction float64
+	NoiseFraction   float64
+	// DupFraction is a band of static high-frequency content drawn twice
+	// (two identical copies far apart). The repeats are exact-content
+	// matches, but their reuse distance exceeds MACH's 256-entry capacity,
+	// so they are visible to the ideal similarity analysis (Fig 7b) while
+	// being largely lost by the real MACH (Fig 9a) — reproducing the
+	// paper's gap between ideal 57% similarity and MACH's captured share.
+	DupFraction float64
+
+	FlatColors      int     // distinct flat patches
+	TexturePeriod   int     // texture tile size in pixels (multiple of mab size)
+	DetailAmplitude float64 // 0..1, high-frequency energy of detail/texture
+
+	NumSprites    int
+	SpriteSpeed   int // max pixels/frame of sprite motion
+	SceneCutEvery int // frames between content re-seeds (0 = never)
+
+	FPS       int
+	BFrames   int
+	GOPLength int
+}
+
+// Validate reports malformed profiles.
+func (p Profile) Validate() error {
+	sum := p.FlatFraction + p.RampFraction + p.TextureFraction + p.NoiseFraction + p.DupFraction
+	if sum < 0 || sum > 1.0001 {
+		return fmt.Errorf("video: %s fractions sum to %.3f", p.Key, sum)
+	}
+	if p.FPS <= 0 {
+		return fmt.Errorf("video: %s fps %d", p.Key, p.FPS)
+	}
+	if p.TexturePeriod <= 0 || p.TexturePeriod%4 != 0 {
+		return fmt.Errorf("video: %s texture period %d not a positive multiple of 4", p.Key, p.TexturePeriod)
+	}
+	if p.GOPLength < 1 {
+		return fmt.Errorf("video: %s GOP %d", p.Key, p.GOPLength)
+	}
+	return nil
+}
+
+// DetailFraction returns the remaining area assigned to static detail.
+func (p Profile) DetailFraction() float64 {
+	d := 1 - (p.FlatFraction + p.RampFraction + p.TextureFraction + p.NoiseFraction + p.DupFraction)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Profiles returns the 16 workloads in Table 1 order. The composition
+// parameters are chosen so the aggregate decoded-content statistics match
+// the paper's measurements (≈42% intra, ≈15% inter, ≈43% no match; Fig 7b)
+// and the per-video character follows the descriptions (test card vs
+// timelapse vs trailers vs game captures).
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Key: "V1", Name: "SES Astra", Description: "TV test video", TableFrames: 6507,
+			FlatFraction: 0.14, RampFraction: 0.2, TextureFraction: 0.1, NoiseFraction: 0.24, DupFraction: 0.3,
+			FlatColors: 8, TexturePeriod: 8, DetailAmplitude: 0.9,
+			NumSprites: 2, SpriteSpeed: 2, SceneCutEvery: 90,
+			FPS: 60, GOPLength: 32,
+		},
+		{
+			Key: "V2", Name: "Honey Bees", Description: "Timelapse @ 120 fps", TableFrames: 5461,
+			FlatFraction: 0.08, RampFraction: 0.12, TextureFraction: 0.08, NoiseFraction: 0.38, DupFraction: 0.3,
+			FlatColors: 4, TexturePeriod: 8, DetailAmplitude: 1.0,
+			NumSprites: 6, SpriteSpeed: 3, SceneCutEvery: 48,
+			FPS: 60, GOPLength: 24,
+		},
+		{
+			Key: "V3", Name: "Puppies Bath", Description: "Home video; macro lens", TableFrames: 3593,
+			FlatFraction: 0.16, RampFraction: 0.24, TextureFraction: 0.08, NoiseFraction: 0.22, DupFraction: 0.28,
+			FlatColors: 3, TexturePeriod: 8, DetailAmplitude: 0.7,
+			NumSprites: 3, SpriteSpeed: 3, SceneCutEvery: 140,
+			FPS: 60, GOPLength: 32,
+		},
+		{
+			Key: "V4", Name: "NASA", Description: "NASA WebCam", TableFrames: 1758,
+			FlatFraction: 0.14, RampFraction: 0.16, TextureFraction: 0.08, NoiseFraction: 0.12, DupFraction: 0.4,
+			FlatColors: 2, TexturePeriod: 8, DetailAmplitude: 0.5,
+			NumSprites: 1, SpriteSpeed: 1, SceneCutEvery: 0,
+			FPS: 60, GOPLength: 48,
+		},
+		{
+			Key: "V5", Name: "Elysium", Description: "2013 movie trailer", TableFrames: 3176,
+			FlatFraction: 0.12, RampFraction: 0.14, TextureFraction: 0.08, NoiseFraction: 0.37, DupFraction: 0.26,
+			FlatColors: 5, TexturePeriod: 8, DetailAmplitude: 1.0,
+			NumSprites: 4, SpriteSpeed: 3, SceneCutEvery: 36,
+			FPS: 60, BFrames: 1, GOPLength: 32,
+		},
+		{
+			Key: "V6", Name: "Gone Girl", Description: "2014 movie trailer", TableFrames: 3591,
+			FlatFraction: 0.12, RampFraction: 0.2, TextureFraction: 0.08, NoiseFraction: 0.28, DupFraction: 0.28,
+			FlatColors: 4, TexturePeriod: 8, DetailAmplitude: 0.9,
+			NumSprites: 3, SpriteSpeed: 2, SceneCutEvery: 40,
+			FPS: 60, BFrames: 1, GOPLength: 32,
+		},
+		{
+			Key: "V7", Name: "Interstellar", Description: "2014 movie trailer", TableFrames: 2429,
+			FlatFraction: 0.14, RampFraction: 0.18, TextureFraction: 0.08, NoiseFraction: 0.28, DupFraction: 0.28,
+			FlatColors: 4, TexturePeriod: 8, DetailAmplitude: 0.9,
+			NumSprites: 3, SpriteSpeed: 3, SceneCutEvery: 42,
+			FPS: 60, BFrames: 1, GOPLength: 32,
+		},
+		{
+			Key: "V8", Name: "007 Skyfall", Description: "2012 movie trailer", TableFrames: 3676,
+			FlatFraction: 0.18, RampFraction: 0.22, TextureFraction: 0.08, NoiseFraction: 0.24, DupFraction: 0.26,
+			FlatColors: 6, TexturePeriod: 8, DetailAmplitude: 0.8,
+			NumSprites: 4, SpriteSpeed: 3, SceneCutEvery: 38,
+			FPS: 60, BFrames: 1, GOPLength: 32,
+		},
+		{
+			Key: "V9", Name: "Batman Origins", Description: "Adventure game video", TableFrames: 4702,
+			FlatFraction: 0.1, RampFraction: 0.14, TextureFraction: 0.14, NoiseFraction: 0.3, DupFraction: 0.28,
+			FlatColors: 4, TexturePeriod: 16, DetailAmplitude: 1.0,
+			NumSprites: 5, SpriteSpeed: 3, SceneCutEvery: 70,
+			FPS: 60, GOPLength: 32,
+		},
+		{
+			Key: "V10", Name: "Battlefield", Description: "Shooter game video", TableFrames: 2899,
+			FlatFraction: 0.12, RampFraction: 0.14, TextureFraction: 0.12, NoiseFraction: 0.3, DupFraction: 0.28,
+			FlatColors: 4, TexturePeriod: 16, DetailAmplitude: 1.0,
+			NumSprites: 6, SpriteSpeed: 3, SceneCutEvery: 60,
+			FPS: 60, GOPLength: 32,
+		},
+		{
+			Key: "V11", Name: "Call of Duty", Description: "Action game video", TableFrames: 5799,
+			FlatFraction: 0.14, RampFraction: 0.12, TextureFraction: 0.14, NoiseFraction: 0.22, DupFraction: 0.28,
+			FlatColors: 5, TexturePeriod: 16, DetailAmplitude: 0.9,
+			NumSprites: 5, SpriteSpeed: 3, SceneCutEvery: 64,
+			FPS: 60, GOPLength: 32,
+		},
+		{
+			Key: "V12", Name: "Crysis 3", Description: "Survival game video", TableFrames: 10147,
+			FlatFraction: 0.1, RampFraction: 0.16, TextureFraction: 0.12, NoiseFraction: 0.3, DupFraction: 0.28,
+			FlatColors: 4, TexturePeriod: 16, DetailAmplitude: 1.0,
+			NumSprites: 4, SpriteSpeed: 2, SceneCutEvery: 80,
+			FPS: 60, GOPLength: 32,
+		},
+		{
+			Key: "V13", Name: "Dear Esther", Description: "Exploration game video", TableFrames: 1699,
+			FlatFraction: 0.16, RampFraction: 0.22, TextureFraction: 0.12, NoiseFraction: 0.18, DupFraction: 0.3,
+			FlatColors: 3, TexturePeriod: 16, DetailAmplitude: 0.7,
+			NumSprites: 2, SpriteSpeed: 1, SceneCutEvery: 160,
+			FPS: 60, GOPLength: 48,
+		},
+		{
+			Key: "V14", Name: "Metro LastNight", Description: "Atmospheric game video", TableFrames: 4981,
+			FlatFraction: 0.14, RampFraction: 0.18, TextureFraction: 0.12, NoiseFraction: 0.26, DupFraction: 0.26,
+			FlatColors: 4, TexturePeriod: 16, DetailAmplitude: 0.85,
+			NumSprites: 3, SpriteSpeed: 2, SceneCutEvery: 96,
+			FPS: 60, GOPLength: 32,
+		},
+		{
+			Key: "V15", Name: "Tomb Raider", Description: "Protagonist game video", TableFrames: 5981,
+			FlatFraction: 0.12, RampFraction: 0.16, TextureFraction: 0.12, NoiseFraction: 0.28, DupFraction: 0.28,
+			FlatColors: 4, TexturePeriod: 16, DetailAmplitude: 0.9,
+			NumSprites: 4, SpriteSpeed: 3, SceneCutEvery: 72,
+			FPS: 60, GOPLength: 32,
+		},
+		{
+			Key: "V16", Name: "Watch Dogs", Description: "Hacking game video", TableFrames: 3806,
+			FlatFraction: 0.12, RampFraction: 0.14, TextureFraction: 0.14, NoiseFraction: 0.28, DupFraction: 0.28,
+			FlatColors: 5, TexturePeriod: 16, DetailAmplitude: 0.9,
+			NumSprites: 5, SpriteSpeed: 3, SceneCutEvery: 68,
+			FPS: 60, GOPLength: 32,
+		},
+	}
+}
+
+// ProfileByKey returns the profile with the given key (V1..V16).
+func ProfileByKey(key string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Key == key {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("video: unknown profile %q", key)
+}

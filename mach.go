@@ -1,0 +1,97 @@
+// Package mach is a full reproduction, in pure Go, of the system described
+// in "Race-To-Sleep + Content Caching + Display Caching: A Recipe for
+// Energy-efficient Video Streaming on Handhelds" (Zhang et al., MICRO-50,
+// 2017): an end-to-end mobile video-streaming platform simulator with three
+// energy optimizations —
+//
+//   - Race-to-Sleep: batched decoding plus decoder frequency boosting so the
+//     accumulated slack amortizes deep-sleep power-state transitions;
+//   - Content caching (MACH): a macroblock content cache that deduplicates
+//     decoded mab/gab content on its way to the frame buffer;
+//   - Display caching: a display cache plus MACH buffer in the display
+//     controller that absorb the indirection MACH introduces.
+//
+// The package re-exports the library's public surface: workload synthesis
+// (the 16 Table 1 videos), trace building, scheme construction, the pipeline
+// runner, and the result types. Examples live in examples/, the experiment
+// harness in bench_test.go and cmd/report.
+//
+// Quick start:
+//
+//	tr, _ := mach.BuildTrace("V1", mach.DefaultStreamConfig())
+//	res, _ := mach.Run(tr, mach.GAB(8), mach.DefaultConfig())
+//	fmt.Println(res)
+package mach
+
+import (
+	"mach/internal/core"
+	"mach/internal/trace"
+	"mach/internal/video"
+)
+
+// Re-exported configuration and scheme types.
+type (
+	// Config is the full platform configuration (decoder, display, DRAM,
+	// power states, MACH, SRAM overheads).
+	Config = core.Config
+	// Scheme is one design point (batch depth, racing, MACH mode,
+	// display optimizations).
+	Scheme = core.Scheme
+	// MachMode selects content caching: off, mab-based, or gab-based.
+	MachMode = core.MachMode
+	// Result is a pipeline run's complete measurement.
+	Result = core.Result
+	// RegionCounts classifies frame times into the paper's Regions I-IV.
+	RegionCounts = core.RegionCounts
+	// StreamConfig controls workload synthesis (resolution, frames, seed).
+	StreamConfig = video.StreamConfig
+	// Profile describes one of the 16 Table 1 workloads.
+	Profile = video.Profile
+	// Trace is a decoded workload ready for replay.
+	Trace = trace.Trace
+)
+
+// MACH modes.
+const (
+	MachOff = core.MachOff
+	MachMAB = core.MachMAB
+	MachGAB = core.MachGAB
+)
+
+// DefaultBatch is the batch depth of the paper's headline configuration.
+const DefaultBatch = core.DefaultBatch
+
+// Platform and workload constructors.
+var (
+	// DefaultConfig returns the Table 2 platform configuration.
+	DefaultConfig = core.DefaultConfig
+	// DefaultStreamConfig returns the default workload scale.
+	DefaultStreamConfig = video.DefaultStreamConfig
+	// Profiles returns the 16 Table 1 workload profiles.
+	Profiles = video.Profiles
+	// ProfileByKey looks up a workload by key (V1..V16).
+	ProfileByKey = video.ProfileByKey
+	// WorkloadKeys returns the 16 workload keys in Table 1 order.
+	WorkloadKeys = core.WorkloadKeys
+	// BuildTrace synthesizes a workload and decodes it into a trace.
+	BuildTrace = core.BuildTrace
+	// Synthesize generates and encodes a workload stream.
+	Synthesize = video.Synthesize
+
+	// Run replays a trace under a scheme.
+	Run = core.Run
+	// RunStandard runs all six Fig 11 schemes.
+	RunStandard = core.RunStandard
+
+	// Scheme constructors (the six bars of Fig 11 plus the §5 ablation).
+	AdaptiveBatching = core.AdaptiveBatching
+	SlackPredictive  = core.SlackPredictive
+	Baseline         = core.Baseline
+	Batching         = core.Batching
+	Racing           = core.Racing
+	RaceToSleep      = core.RaceToSleep
+	MAB              = core.MAB
+	GAB              = core.GAB
+	GABNoDisplayOpt  = core.GABNoDisplayOpt
+	StandardSchemes  = core.StandardSchemes
+)
