@@ -1,0 +1,105 @@
+// Command machlint runs the repository's static-analysis suite (see
+// internal/lint): determinism, unit safety, float equality, self-comparison
+// and narrow error-check invariants that keep the simulation replayable and
+// the energy accounting honest.
+//
+// Usage:
+//
+//	go run ./cmd/machlint ./...          # lint the whole module
+//	go run ./cmd/machlint -checks determinism,floateq ./...
+//	go run ./cmd/machlint -list          # describe the available checks
+//
+// Package patterns are accepted for familiarity but machlint always
+// analyzes the module containing the working directory as a whole: the
+// checks are cross-cutting invariants, not per-package style rules.
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mach/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list available checks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All()
+	if *checks != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*checks, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "machlint: unknown check %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "machlint: %v\n", err)
+		return 2
+	}
+
+	fset, pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "machlint: %v\n", err)
+		return 2
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "machlint: warning: %s: %v\n", p.Path, terr)
+		}
+	}
+
+	diags := lint.RunAnalyzers(fset, pkgs, analyzers)
+	for _, d := range diags {
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(root, rel); err == nil {
+			rel = r
+		}
+		fmt.Printf("%s:%d:%d: %s [%s]\n", rel, d.Pos.Line, d.Pos.Column, d.Message, d.Check)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "machlint: %d diagnostic(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"mach/internal/core"
+	"mach/internal/video"
+)
+
+// TestTraceCacheConcurrent hammers the TraceCache — the one shared mutable
+// structure in the experiment layer — from many goroutines so that
+// `go test -race` (the CI smoke path) exercises its locking: concurrent
+// Get on the same key, Get on distinct keys, and Drop racing both.
+func TestTraceCacheConcurrent(t *testing.T) {
+	tc := NewTraceCache()
+	sc := video.StreamConfig{Width: 80, Height: 48, NumFrames: 4, Seed: 3, MabSize: 4, Quant: 8}
+	keys := core.WorkloadKeys()[:3]
+
+	var wg sync.WaitGroup
+	for worker := 0; worker < 8; worker++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				key := keys[(worker+i)%len(keys)]
+				tr, err := tc.Get(key, sc)
+				if err != nil {
+					t.Errorf("Get(%s): %v", key, err)
+					return
+				}
+				if got := len(tr.Frames); got != sc.NumFrames {
+					t.Errorf("Get(%s): %d frames, want %d", key, got, sc.NumFrames)
+					return
+				}
+				if i%3 == 2 {
+					tc.Drop(key, sc)
+				}
+			}
+		}(worker)
+	}
+	wg.Wait()
+}
+
+// TestSchemesConcurrent runs independent pipeline simulations in parallel
+// over a shared, read-only trace: core.Run promises the trace is never
+// mutated, and the race detector holds it to that.
+func TestSchemesConcurrent(t *testing.T) {
+	cfg := Quick()
+	tc := NewTraceCache()
+	tr, err := tc.Get(cfg.Videos[0], cfg.Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	schemes := []core.Scheme{core.Baseline(), core.RaceToSleep(4), core.GAB(4)}
+	var wg sync.WaitGroup
+	for _, s := range schemes {
+		wg.Add(1)
+		go func(s core.Scheme) {
+			defer wg.Done()
+			res, err := core.Run(tr, s, cfg.Platform)
+			if err != nil {
+				t.Errorf("%s: %v", s.Name, err)
+				return
+			}
+			if res.TotalEnergy() <= 0 {
+				t.Errorf("%s: non-positive total energy", s.Name)
+			}
+		}(s)
+	}
+	wg.Wait()
+}

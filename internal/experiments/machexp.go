@@ -140,6 +140,7 @@ func (r *Runner) Fig9b() (*stats.Table, error) {
 		}
 		counts := make([]int64, 0, len(st.DigestMatches))
 		var total int64
+		//lint:ignore determinism values-only aggregation; counts are sorted below so map order cannot leak
 		for _, c := range st.DigestMatches {
 			counts = append(counts, c)
 			total += c

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands in production
+// code. The simulator accumulates energy in float64 joules; exact equality
+// on accumulated floats is either dead (never true) or fragile (true only
+// until a refactor reorders the additions). Comparisons against the exact
+// literal zero are exempt: zero is a well-defined sentinel (an empty
+// accumulator, a division guard) that float arithmetic represents exactly.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag == and != on floating-point operands outside tests " +
+		"(comparisons against the literal 0 are exempt)",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) && !isFloat(pass, be.Y) {
+				return true
+			}
+			if isZeroConst(pass, be.X) || isZeroConst(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "%q on floating-point values; compare with an epsilon or math.Float64bits", be.Op.String())
+			return true
+		})
+	}
+}
+
+func isFloat(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}

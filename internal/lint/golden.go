@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// Golden-file testing, in the style of analysistest: every .go file under
+// testdata/<analyzer>/ is type-checked as a standalone package and run
+// through that one analyzer. A comment `// want "regexp"` on a line asserts
+// that the analyzer reports a diagnostic on that line whose message matches
+// the regexp; multiple `"..."` strings assert multiple diagnostics. Every
+// reported diagnostic must be wanted and every want must be reported.
+//
+// Because several analyzers scope themselves by import path, a testdata
+// file may declare the package path it should be checked under:
+//
+//	//machlint:pkgpath mach/internal/sim
+
+// pkgPathDirective selects the synthetic import path for a golden file.
+const pkgPathDirective = "//machlint:pkgpath"
+
+var wantRE = regexp.MustCompile(`//\s*want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+var wantStringRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` assertion.
+type expectation struct {
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// parseExpectations extracts want assertions from a file's comments.
+func parseExpectations(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var exps []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, qs := range wantStringRE.FindAllStringSubmatch(m[1], -1) {
+				rx, err := regexp.Compile(qs[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want pattern %q: %w", fset.Position(c.Pos()), qs[1], err)
+				}
+				exps = append(exps, &expectation{line: line, pattern: rx})
+			}
+		}
+	}
+	return exps, nil
+}
+
+// goldenPkgPath returns the file's declared package path, or a default.
+func goldenPkgPath(f *ast.File, fset *token.FileSet) string {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(c.Text, pkgPathDirective); ok {
+				return strings.TrimSpace(rest)
+			}
+		}
+	}
+	return "example.com/" + f.Name.Name
+}
+
+// RunGoldenFile checks one testdata file against one analyzer and returns
+// a list of problems (empty means the file's expectations hold exactly).
+func RunGoldenFile(a *Analyzer, path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	exps, err := parseExpectations(fset, f)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := CheckFile(fset, f, goldenPkgPath(f, fset))
+	if err != nil {
+		return nil, err
+	}
+	if len(pkg.TypeErrors) > 0 {
+		return nil, fmt.Errorf("golden file %s does not type-check: %v", path, pkg.TypeErrors[0])
+	}
+
+	diags := RunAnalyzers(fset, []*Package{pkg}, []*Analyzer{a})
+
+	var problems []string
+	for _, d := range diags {
+		found := false
+		for _, e := range exps {
+			if !e.matched && e.line == d.Pos.Line && e.pattern.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, e := range exps {
+		if !e.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", path, e.line, e.pattern))
+		}
+	}
+	return problems, nil
+}
+
+// GoldenFiles lists the .go files under testdata/<analyzer name>/ relative
+// to dir.
+func GoldenFiles(dir, analyzer string) ([]string, error) {
+	pattern := filepath.Join(dir, "testdata", analyzer, "*.go")
+	files, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no golden files match %s", pattern)
+	}
+	return files, nil
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// SelfCompare flags comparisons of an expression with itself — `x == x`,
+// `a.b != a.b`, `bytes.Equal(p, p)` — which are almost always a typo for a
+// comparison against a second, similarly-named operand (prev vs curr, a vs
+// b). Such bugs type-check, pass most tests, and quietly disable whatever
+// guard they were meant to implement. Only side-effect-free operands
+// (identifiers, field selections, constant-indexed elements) are
+// considered, so `f() == f()` is never flagged.
+var SelfCompare = &Analyzer{
+	Name: "selfcompare",
+	Doc: "flag x == x style comparisons and two-argument equality calls " +
+		"(bytes.Equal, reflect.DeepEqual, …) with identical arguments",
+	Run: runSelfCompare,
+}
+
+var comparisonOps = map[token.Token]bool{
+	token.EQL: true, token.NEQ: true,
+	token.LSS: true, token.LEQ: true,
+	token.GTR: true, token.GEQ: true,
+}
+
+// equalityFuncs lists two-argument stdlib comparison helpers, by package
+// path and name.
+var equalityFuncs = map[string]bool{
+	"bytes.Equal":       true,
+	"bytes.Compare":     true,
+	"strings.Compare":   true,
+	"strings.EqualFold": true,
+	"reflect.DeepEqual": true,
+}
+
+func runSelfCompare(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if comparisonOps[n.Op] && pureOperand(n.X) && pureOperand(n.Y) &&
+					pass.ExprString(n.X) == pass.ExprString(n.Y) {
+					pass.Reportf(n.OpPos, "comparing %s with itself; the result is constant", pass.ExprString(n.X))
+				}
+			case *ast.CallExpr:
+				checkEqualityCall(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkEqualityCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || len(call.Args) != 2 {
+		return
+	}
+	if !equalityFuncs[fn.Pkg().Path()+"."+fn.Name()] {
+		return
+	}
+	if pureOperand(call.Args[0]) && pureOperand(call.Args[1]) &&
+		pass.ExprString(call.Args[0]) == pass.ExprString(call.Args[1]) {
+		pass.Reportf(call.Pos(), "%s.%s called with identical arguments %s; the result is constant",
+			fn.Pkg().Name(), fn.Name(), pass.ExprString(call.Args[0]))
+	}
+}
+
+// pureOperand reports whether evaluating e twice is guaranteed to yield the
+// same value with no side effects.
+func pureOperand(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.BasicLit:
+		return true
+	case *ast.SelectorExpr:
+		return pureOperand(e.X)
+	case *ast.IndexExpr:
+		return pureOperand(e.X) && pureOperand(e.Index)
+	case *ast.UnaryExpr:
+		return e.Op != token.AND && pureOperand(e.X)
+	case *ast.StarExpr:
+		return pureOperand(e.X)
+	}
+	return false
+}

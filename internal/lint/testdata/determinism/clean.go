@@ -1,0 +1,40 @@
+// Deterministic idioms the analyzer must not flag.
+//
+//machlint:pkgpath mach/internal/sim
+package sim
+
+import (
+	"math/rand"
+	"sort"
+)
+
+func SeededDraw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10) // method on a seeded generator, not the global source
+}
+
+func SumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m { // order-insensitive: integer summation only
+		total += v
+	}
+	return total
+}
+
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//lint:ignore determinism keys are sorted before return, so map order cannot leak
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func Invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m { // building another map is order-insensitive
+		inv[v] = k
+	}
+	return inv
+}

@@ -1,0 +1,11 @@
+// The determinism rules only apply to the simulation subtrees; tools may
+// use the wall clock (e.g. to time report generation).
+//
+//machlint:pkgpath mach/cmd/report
+package main
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,28 @@
+// The same violations as bad.go, each suppressed with a written reason; the
+// harness asserts zero diagnostics survive.
+//
+//machlint:pkgpath mach/internal/sim
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func SuppressedWallClock() int64 {
+	//lint:ignore determinism golden fixture proving the suppression path works
+	return time.Now().UnixNano()
+}
+
+func SuppressedGlobalDraw() int {
+	return rand.Intn(10) //lint:ignore determinism same-line suppression form
+}
+
+func SuppressedKeys(m map[string]int) []string {
+	var out []string
+	//lint:ignore determinism caller sorts the returned keys before use
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Outside internal/trace, internal/record and cmd/, dropped errors are the
+// caller's business (e.g. the simulation core never does I/O).
+//
+//machlint:pkgpath mach/internal/core
+package core
+
+import "os"
+
+func Drop(f *os.File) {
+	f.Close()
+}

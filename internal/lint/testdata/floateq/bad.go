@@ -1,0 +1,14 @@
+// Seeded float-equality bugs.
+package floats
+
+func Same(a, b float64) bool {
+	return a == b // want "\"==\" on floating-point values"
+}
+
+func Differ(a, b float32) bool {
+	return a != b // want "\"!=\" on floating-point values"
+}
+
+func MixedWidth(total float64, frames int) bool {
+	return total == float64(frames)+0.5 // want "\"==\" on floating-point values"
+}

@@ -1,0 +1,34 @@
+// Comparisons the float-equality checker must not flag.
+package floats
+
+import "math"
+
+func ZeroSentinel(total float64) float64 {
+	if total == 0 { // exact-zero guard: well-defined, exempt
+		return 0
+	}
+	return 1 / total
+}
+
+func Ordered(a, b float64) bool {
+	return a < b // ordering comparisons are fine
+}
+
+func Epsilon(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func Bits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) // integer comparison
+}
+
+func Ints(a, b int64) bool {
+	return a == b
+}
+
+// WrongCheckName: an ignore naming a different check must NOT suppress a
+// floateq finding.
+func WrongCheckName(a, b float64) bool {
+	//lint:ignore determinism wrong check name, must not suppress floateq
+	return a == b // want "\"==\" on floating-point values"
+}

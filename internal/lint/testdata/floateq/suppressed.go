@@ -1,0 +1,7 @@
+// Suppressed float comparisons; zero diagnostics must survive.
+package floats
+
+func ExactCarry(a, b float64) bool {
+	//lint:ignore floateq fixture: bit-exact replay comparison is the point here
+	return a == b
+}

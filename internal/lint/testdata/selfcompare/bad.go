@@ -1,0 +1,25 @@
+// Seeded self-comparison bugs.
+package selfcmp
+
+import (
+	"bytes"
+	"reflect"
+)
+
+type pair struct {
+	prev, curr []byte
+	n          int
+}
+
+func Bugs(x int, p pair) bool {
+	if x == x { // want "comparing x with itself"
+		return true
+	}
+	if p.n != p.n { // want "comparing p.n with itself"
+		return true
+	}
+	if bytes.Equal(p.prev, p.prev) { // want "bytes.Equal called with identical arguments"
+		return true
+	}
+	return reflect.DeepEqual(p.curr, p.curr) // want "reflect.DeepEqual called with identical arguments"
+}

@@ -1,0 +1,24 @@
+// Comparisons the self-compare checker must not flag.
+package selfcmp
+
+import "bytes"
+
+var counter int
+
+func next() int {
+	counter++
+	return counter
+}
+
+func Clean(x, y int, a, b []byte, xs []int, i, j int) bool {
+	if x == y { // distinct operands
+		return true
+	}
+	if bytes.Equal(a, b) { // distinct arguments
+		return true
+	}
+	if next() == next() { // calls are impure; evaluating twice may differ
+		return true
+	}
+	return xs[i] == xs[j] // distinct indices
+}

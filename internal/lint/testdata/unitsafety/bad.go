@@ -1,0 +1,28 @@
+// Seeded unit-mixing bugs: additive arithmetic and comparisons across
+// conflicting unit suffixes.
+package units
+
+type Stats struct {
+	EnergyPJ float64
+	EnergyNJ float64
+	StaticMW float64
+}
+
+func Mix(busyPs, busyNs, totalCycles int64, freqMHz float64, s Stats) float64 {
+	slack := busyPs - busyNs // want "mixes busyPs .* with busyNs"
+	_ = slack
+	if busyPs < busyNs { // want "mixes busyPs .* with busyNs"
+		busyPs = busyNs
+	}
+	sum := s.EnergyPJ + s.EnergyNJ // want "mixes EnergyPJ .* with EnergyNJ"
+	_ = sum
+	wrong := s.EnergyPJ + s.StaticMW // want "mixes EnergyPJ .* with StaticMW"
+	_ = wrong
+	var accPJ float64
+	accPJ += s.EnergyNJ                  // want "mixes accPJ .* with EnergyNJ"
+	accPJ -= s.StaticMW                  // want "mixes accPJ .* with StaticMW"
+	if float64(totalCycles) == freqMHz { // conversion exempts the left side; no finding
+		return accPJ
+	}
+	return accPJ
+}

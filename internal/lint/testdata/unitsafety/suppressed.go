@@ -1,0 +1,7 @@
+// Suppressed unit mixes; zero diagnostics must survive.
+package units
+
+func Pack(headerPs, payloadNs int64) int64 {
+	//lint:ignore unitsafety fixture: deliberately packing mixed fields into one word
+	return headerPs + payloadNs
+}

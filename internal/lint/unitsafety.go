@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// UnitSafety flags additive arithmetic and comparisons that mix identifiers
+// carrying conflicting unit suffixes. The energy model threads picojoules,
+// nanojoules, milliwatts, picoseconds, cycles and megahertz through plain
+// int64/float64 values; a single `energyPJ + leakageNJ` silently corrupts a
+// whole Fig 11 breakdown by three orders of magnitude. Multiplication and
+// division are exempt (cycles/MHz or power*time legitimately change
+// dimension), and any operand that is a call expression counts as an
+// explicit conversion.
+var UnitSafety = &Analyzer{
+	Name: "unitsafety",
+	Doc: "flag +, -, comparisons and += / -= mixing identifiers with conflicting unit " +
+		"suffixes (PJ, NJ, MW, Ps, Ns, Cycles, MHz) without an explicit conversion call",
+	Run: runUnitSafety,
+}
+
+// unitSuffixes maps a recognized identifier suffix to its dimension. Two
+// suffixed operands conflict unless their suffixes are identical: same
+// dimension but different scale (PJ vs NJ) is exactly the silent 1000x
+// error this check exists for.
+var unitSuffixes = []struct {
+	suffix, dim string
+}{
+	{"Cycles", "cycle count"},
+	{"MHz", "frequency"},
+	{"PJ", "energy (pJ)"},
+	{"NJ", "energy (nJ)"},
+	{"MW", "power (mW)"},
+	{"Ps", "time (ps)"},
+	{"Ns", "time (ns)"},
+}
+
+// unitOf extracts the unit suffix of a name, requiring a camelCase boundary
+// (the rune before the suffix must be a lowercase letter or digit, or the
+// name must be the suffix itself) so e.g. "Caps" is not read as ending in
+// "Ps".
+func unitOf(name string) (suffix, dim string, ok bool) {
+	for _, u := range unitSuffixes {
+		if !strings.HasSuffix(name, u.suffix) {
+			continue
+		}
+		rest := name[:len(name)-len(u.suffix)]
+		if rest == "" {
+			return u.suffix, u.dim, true
+		}
+		last := rest[len(rest)-1]
+		if last >= 'a' && last <= 'z' || last >= '0' && last <= '9' {
+			return u.suffix, u.dim, true
+		}
+	}
+	return "", "", false
+}
+
+// operandName returns the identifier name an operand resolves to, or ""
+// when the operand is anything else (calls are conversions, literals are
+// dimensionless, etc.).
+func operandName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// additiveOps are the operators where mixed units are always a bug.
+var additiveOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.EQL: true, token.NEQ: true,
+	token.LSS: true, token.LEQ: true,
+	token.GTR: true, token.GEQ: true,
+}
+
+func runUnitSafety(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if additiveOps[n.Op] {
+					checkUnitPair(pass, n.OpPos, n.Op.String(), n.X, n.Y)
+				}
+			case *ast.AssignStmt:
+				if (n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN) &&
+					len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+					checkUnitPair(pass, n.TokPos, n.Tok.String(), n.Lhs[0], n.Rhs[0])
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkUnitPair(pass *Pass, pos token.Pos, op string, x, y ast.Expr) {
+	xn, yn := operandName(x), operandName(y)
+	xs, xd, xok := unitOf(xn)
+	ys, yd, yok := unitOf(yn)
+	if !xok || !yok || xs == ys {
+		return
+	}
+	pass.Reportf(pos, "%q mixes %s (%s) with %s (%s) without an explicit conversion", op, xn, xd, yn, yd)
+}

@@ -1,0 +1,36 @@
+// Tier-1 enforcement of the machlint invariants: `go test ./...` fails if
+// any future change reintroduces wall-clock time or global randomness into
+// the simulation packages, mixes unit-suffixed quantities, compares floats
+// for equality, compares a value with itself, or drops an I/O error in the
+// trace/record/cmd layers. This is the same suite `go run ./cmd/machlint
+// ./...` runs; see internal/lint and the "Determinism & lint invariants"
+// section of DESIGN.md.
+package mach
+
+import (
+	"testing"
+
+	"mach/internal/lint"
+)
+
+func TestMachlintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	fset, pkgs, err := lint.LoadModule(".")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			t.Errorf("%s: type error: %v", p.Path, terr)
+		}
+	}
+	diags := lint.RunAnalyzers(fset, pkgs, lint.All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Log("fix the findings or add `//lint:ignore <check> <reason>` where the code is deliberately exempt (see README.md)")
+	}
+}
