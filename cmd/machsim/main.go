@@ -5,6 +5,11 @@
 //
 //	machsim -workload V1 -scheme gab -frames 120
 //	machsim -workload V8 -all -frames 240 -width 640 -height 360
+//	machsim -workload V3 -scheme rts -net flaky -stall-rate 0.2 -net-seed 7
+//
+// Exit codes: 0 success, 1 model/runtime error, 2 invalid usage (bad flag
+// values such as a width that is not a multiple of the mab size, an unknown
+// workload/scheme key, or an unknown network profile).
 package main
 
 import (
@@ -17,29 +22,93 @@ import (
 	"mach/internal/stats"
 )
 
+const (
+	exitErr   = 1
+	exitUsage = 2
+)
+
 func main() {
 	var (
 		workload = flag.String("workload", "V1", "workload key (V1..V16)")
 		scheme   = flag.String("scheme", "gab", "scheme: baseline|batching|racing|race-to-sleep|mab|gab")
 		all      = flag.Bool("all", false, "run all six standard schemes and print the comparison")
 		frames   = flag.Int("frames", 120, "number of video frames to synthesize")
-		width    = flag.Int("width", 320, "frame width (multiple of 4)")
-		height   = flag.Int("height", 180, "frame height (multiple of 4)")
+		width    = flag.Int("width", 320, "frame width (multiple of the mab size)")
+		height   = flag.Int("height", 180, "frame height (multiple of the mab size)")
 		batch    = flag.Int("batch", mach.DefaultBatch, "batch depth for batching schemes")
 		seed     = flag.Int64("seed", 1, "workload generator seed")
 		verbose  = flag.Bool("v", false, "print the full per-run breakdown")
+
+		net       = flag.String("net", "", "network profile enabling the delivery fault model: lte|wifi|3g|flaky (empty = perfect network)")
+		bandwidth = flag.Float64("bandwidth", 0, "override link bandwidth in Mbit/s (requires -net)")
+		stallRate = flag.Float64("stall-rate", -1, "override per-segment stall-injection probability [0,1] (requires -net)")
+		lossRate  = flag.Float64("loss-rate", -1, "override per-attempt segment-loss probability [0,1] (requires -net)")
+		netSeed   = flag.Int64("net-seed", 0, "override the delivery model seed (requires -net)")
 	)
 	flag.Parse()
 
 	sc := mach.DefaultStreamConfig()
 	sc.Width, sc.Height, sc.NumFrames, sc.Seed = *width, *height, *frames, *seed
 
+	if *frames <= 0 {
+		usage("-frames %d: want a positive frame count", *frames)
+	}
+	if *batch < 1 || *batch > 64 {
+		usage("-batch %d: want a batch depth in [1,64]", *batch)
+	}
+	if sc.MabSize > 0 && (*width <= 0 || *height <= 0 || *width%sc.MabSize != 0 || *height%sc.MabSize != 0) {
+		usage("-width/-height %dx%d: want positive multiples of the %d-pixel mab size", *width, *height, sc.MabSize)
+	}
+	if _, err := mach.ProfileByKey(*workload); err != nil {
+		usage("-workload %s: unknown key (run `vgen -list` for the V1..V16 table)", *workload)
+	}
+
+	cfg := mach.DefaultConfig()
+	if *net != "" {
+		d, err := mach.DeliveryByName(*net)
+		if err != nil {
+			usage("-net %s: %v", *net, err)
+		}
+		if *bandwidth != 0 {
+			if *bandwidth < 0 {
+				usage("-bandwidth %g: want Mbit/s > 0", *bandwidth)
+			}
+			d.BandwidthBps = *bandwidth * 1e6 / 8
+		}
+		if *stallRate >= 0 {
+			if *stallRate > 1 {
+				usage("-stall-rate %g: want a probability in [0,1]", *stallRate)
+			}
+			d.StallRate = *stallRate
+		}
+		if *lossRate >= 0 {
+			if *lossRate > 1 {
+				usage("-loss-rate %g: want a probability in [0,1]", *lossRate)
+			}
+			d.LossRate = *lossRate
+		}
+		if *netSeed != 0 {
+			d.Seed = *netSeed
+		}
+		cfg.Delivery = d
+	} else if *bandwidth != 0 || *stallRate >= 0 || *lossRate >= 0 || *netSeed != 0 {
+		usage("-bandwidth/-stall-rate/-loss-rate/-net-seed need -net to select a profile")
+	}
+
+	// Resolve the scheme before synthesis so a typo fails fast.
+	var s mach.Scheme
+	if !*all {
+		var err error
+		if s, err = schemeByName(*scheme, *batch); err != nil {
+			usage("-scheme %s: %v", *scheme, err)
+		}
+	}
+
 	fmt.Fprintf(os.Stderr, "synthesizing %s (%d frames at %dx%d)...\n", *workload, *frames, *width, *height)
 	tr, err := mach.BuildTrace(*workload, sc)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := mach.DefaultConfig()
 
 	if *all {
 		results, err := mach.RunStandard(tr, cfg)
@@ -47,15 +116,26 @@ func main() {
 			fatal(err)
 		}
 		base := results[0]
-		tb := stats.NewTable("scheme", "mJ/frame", "norm", "drops", "S3%", "mem-acc", "match%")
+		hdr := []string{"scheme", "mJ/frame", "norm", "drops", "S3%", "mem-acc", "match%"}
+		if cfg.Delivery.Enabled {
+			hdr = append(hdr, "rebuf", "rebuf-ms", "retries", "radio-mJ")
+		}
+		tb := stats.NewTable(hdr...)
 		for _, r := range results {
-			tb.AddRow(r.Scheme.Name,
+			row := []any{r.Scheme.Name,
 				fmt.Sprintf("%.2f", 1e3*r.EnergyPerFrame()),
 				fmt.Sprintf("%.3f", r.NormalizedTo(base)),
 				r.Drops,
 				fmt.Sprintf("%.1f", 100*r.S3Residency()),
 				r.Mem.Accesses(),
-				fmt.Sprintf("%.1f", 100*r.Mach.MatchRate()))
+				fmt.Sprintf("%.1f", 100*r.Mach.MatchRate())}
+			if cfg.Delivery.Enabled {
+				row = append(row, r.Rebuffers,
+					fmt.Sprintf("%.1f", r.RebufferTime.Milliseconds()),
+					r.Net.Retries,
+					fmt.Sprintf("%.2f", 1e3*r.Radio.TotalEnergy()))
+			}
+			tb.AddRow(row...)
 		}
 		fmt.Print(tb)
 		if *verbose {
@@ -67,10 +147,6 @@ func main() {
 		return
 	}
 
-	s, err := schemeByName(*scheme, *batch)
-	if err != nil {
-		fatal(err)
-	}
 	r, err := mach.Run(tr, s, cfg)
 	if err != nil {
 		fatal(err)
@@ -96,11 +172,19 @@ func schemeByName(name string, batch int) (mach.Scheme, error) {
 	case "gab-nodc":
 		return mach.GABNoDisplayOpt(batch), nil
 	default:
-		return mach.Scheme{}, fmt.Errorf("unknown scheme %q", name)
+		return mach.Scheme{}, fmt.Errorf("unknown scheme %q (want baseline|batching|racing|race-to-sleep|mab|gab|gab-nodc)", name)
 	}
+}
+
+// usage reports an invalid invocation and exits with the usage code so
+// scripts can distinguish operator error from model failure.
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "machsim: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "run `machsim -h` for flag documentation")
+	os.Exit(exitUsage)
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "machsim:", err)
-	os.Exit(1)
+	os.Exit(exitErr)
 }

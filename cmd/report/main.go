@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (fig1a, fig2, fig4, fig5, fig6, fig7, fig9, fig10, fig11, fig12, table1, table2, dcc, record, te, replacement, colorspace, contention) or 'all'")
+		exp    = flag.String("exp", "all", "experiment id (fig1a, fig2, fig4, fig5, fig6, fig7, fig9, fig10, fig11, fig12, table1, table2, dcc, record, te, replacement, colorspace, contention, delivery, netprofiles) or 'all'")
 		quick  = flag.Bool("quick", false, "reduced scale")
 		frames = flag.Int("frames", 0, "override frames per workload")
 		width  = flag.Int("width", 0, "override frame width")
@@ -79,22 +79,32 @@ func main() {
 		{"colorspace", "Sec 4 claim: content caching across colour spaces", r.ColorSpace},
 		{"contention", "Ablation: background SoC traffic", func() (*stats.Table, error) { return r.Contention(nil) }},
 		{"slackpredict", "Related work: history-based slack-predictive DVFS vs race-to-sleep", r.SlackPrediction},
+		{"delivery", "Fault injection: stall rate x bandwidth under imperfect delivery", func() (*stats.Table, error) { return r.Delivery(nil, nil) }},
+		{"netprofiles", "Fault injection: GAB across link profiles", r.DeliveryProfiles},
 	}
 
 	want := strings.ToLower(*exp)
-	matched := 0
+	matched, failed := 0, 0
 	for _, e := range all {
 		if want != "all" && !strings.HasPrefix(e.name, want) {
 			continue
 		}
 		matched++
 		start := time.Now()
-		tb, err := e.run()
+		tb, err := runExperiment(e.run)
 		if err != nil {
+			// One broken experiment becomes an error row; the rest of the
+			// report still regenerates.
+			failed++
 			fmt.Fprintf(os.Stderr, "report: %s: %v\n", e.name, err)
-			os.Exit(1)
+			fmt.Printf("== %s ==\nERROR: %v\n(%s, %.1fs)\n\n", e.title, err, e.name, time.Since(start).Seconds())
+			continue
 		}
 		fmt.Printf("== %s ==\n%s(%s, %.1fs)\n\n", e.title, tb, e.name, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "report: %d of %d experiments failed\n", failed, matched)
+		os.Exit(1)
 	}
 	if matched == 0 {
 		names := make([]string, len(all))
@@ -105,4 +115,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "report: unknown experiment %q; available: %s\n", *exp, strings.Join(names, ", "))
 		os.Exit(2)
 	}
+}
+
+// runExperiment isolates one experiment: a panic in its model code is
+// recovered and reported as an error so the remaining experiments still run.
+func runExperiment(run func() (*stats.Table, error)) (tb *stats.Table, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	return run()
 }

@@ -5,6 +5,8 @@
 //	vgen -workload V7 -frames 60 -stats # content similarity of one workload
 //	vgen -workload V7 -out v7.trace     # record a binary decode trace
 //	vgen -in v7.trace -stats            # replay a recorded trace
+//
+// Exit codes: 0 success, 1 synthesis/IO error, 2 invalid usage.
 package main
 
 import (
@@ -41,6 +43,19 @@ func main() {
 		}
 		fmt.Print(tb)
 		return
+	}
+
+	if *in == "" {
+		const mabSize = 4
+		if *frames <= 0 {
+			usage("-frames %d: want a positive frame count", *frames)
+		}
+		if *width <= 0 || *height <= 0 || *width%mabSize != 0 || *height%mabSize != 0 {
+			usage("-width/-height %dx%d: want positive multiples of the %d-pixel mab size", *width, *height, mabSize)
+		}
+		if _, err := video.ProfileByKey(*workload); err != nil {
+			usage("-workload %s: unknown key (run `vgen -list` for the V1..V16 table)", *workload)
+		}
 	}
 
 	var tr *trace.Trace
@@ -101,6 +116,14 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+}
+
+// usage reports an invalid invocation and exits with code 2 so scripts can
+// distinguish operator error from synthesis failure.
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vgen: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "run `vgen -h` for flag documentation")
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mach/internal/decoder"
+	"mach/internal/delivery"
 	"mach/internal/display"
 	"mach/internal/dram"
 	"mach/internal/energy"
@@ -24,6 +25,14 @@ type Config struct {
 	// Traffic is the background SoC memory load (CPU/GPU/radios). The
 	// zero value disables it; experiments that study contention enable it.
 	Traffic soc.TrafficConfig
+
+	// Delivery is the network-delivery fault model (§2.1's download path).
+	// Disabled (the zero value / default), every encoded frame is resident
+	// before playback and the run is bit-identical to the original
+	// perfect-network pipeline; enabled, frames become available per the
+	// seeded delivery schedule and the pipeline degrades gracefully
+	// (rebuffers, repeats, batch shrinking) when they are late.
+	Delivery delivery.Config
 
 	// DisplayLatencyFrames is the fixed latency between a frame's release
 	// to the decoder and its scan-out tick: 1 reproduces the paper's
@@ -52,6 +61,7 @@ func DefaultConfig() Config {
 		Power:                power.DefaultConfig(),
 		Mach:                 mach.DefaultConfig(),
 		SRAM:                 energy.DefaultSRAM(),
+		Delivery:             delivery.DefaultConfig(), // LTE-class link, disabled
 		DisplayLatencyFrames: 1,
 		BaseBuffers:          3,
 		CollectFrameSamples:  true,
@@ -82,6 +92,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: base buffers %d < 2", c.BaseBuffers)
 	}
 	if err := c.Traffic.Validate(); err != nil {
+		return err
+	}
+	if err := c.Delivery.Validate(); err != nil {
 		return err
 	}
 	return nil

@@ -6,6 +6,7 @@ import (
 
 	"mach/internal/cache"
 	"mach/internal/decoder"
+	"mach/internal/delivery"
 	"mach/internal/display"
 	"mach/internal/dram"
 	"mach/internal/energy"
@@ -46,6 +47,21 @@ type Result struct {
 	// PoolHighWater is the peak number of simultaneously live frame
 	// buffers (Fig 12a measures it against triple buffering).
 	PoolHighWater int
+
+	// Delivery/rebuffering measurements; all zero unless
+	// Config.Delivery.Enabled (or the trace carries arrival metadata).
+	// Rebuffers counts decoder stalls on a frame that had not arrived;
+	// RebufferTime is the total slack those stalls spent (accounted under
+	// the sleep policy like any other slack). BatchShrinks counts batch
+	// boundaries where low streaming-buffer occupancy shrank the batch.
+	// StartupDelay is how long the player held the first scan-out waiting
+	// for the first segment; the playback deadline schedule starts after it.
+	Rebuffers    int64
+	RebufferTime sim.Time
+	StartupDelay sim.Time
+	BatchShrinks int64
+	Net          delivery.Stats
+	Radio        power.RadioStats
 
 	Mem       dram.Stats
 	MemEnergy dram.Energy
@@ -106,6 +122,14 @@ func (r *Result) String() string {
 		if t > 0 {
 			fmt.Fprintf(&sb, "  %-15s %8.2f mJ (%5.1f%%)\n", k, 1e3*v, 100*v/t)
 		}
+	}
+	if v := r.Energy.Get(energy.CompRadio); v > 0 && t > 0 {
+		fmt.Fprintf(&sb, "  %-15s %8.2f mJ (%5.1f%%)\n", energy.CompRadio, 1e3*v, 100*v/t)
+	}
+	if r.Net.Segments > 0 {
+		fmt.Fprintf(&sb, "  net: %d segments (%d KB), %d retries, %d stalls, %d abandoned; startup %.1fms, rebuffer %d/%.1fms, batch shrinks %d\n",
+			r.Net.Segments, r.Net.Bytes/1024, r.Net.Retries, r.Net.Stalls, r.Net.Abandoned,
+			r.StartupDelay.Milliseconds(), r.Rebuffers, r.RebufferTime.Milliseconds(), r.BatchShrinks)
 	}
 	fmt.Fprintf(&sb, "  mem: %d accesses, row-hit %.1f%%  pool high-water %d buffers\n",
 		r.Mem.Accesses(), 100*r.Mem.RowHitRate(), r.PoolHighWater)

@@ -8,6 +8,7 @@ import (
 	"mach/internal/soc"
 
 	"mach/internal/decoder"
+	"mach/internal/delivery"
 	"mach/internal/display"
 	"mach/internal/dram"
 	"mach/internal/energy"
@@ -44,8 +45,14 @@ func Run(tr *trace.Trace, s Scheme, cfg Config) (*Result, error) {
 			break
 		}
 	}
+	// startup shifts the whole playback timeline: with delivery enabled the
+	// player holds the first scan-out until the first segment is buffered
+	// (assigned below, once availability is known), so initial download
+	// latency is accounted as startup delay rather than as a string of
+	// missed deadlines. Zero for the resident-content pipeline.
+	var startup sim.Time
 	displayTime := func(displayIndex int) sim.Time {
-		return sim.Time(int64(period) * int64(displayIndex+displayLatency))
+		return startup + sim.Time(int64(period)*int64(displayIndex+displayLatency))
 	}
 
 	// --- Instantiate the platform -------------------------------------
@@ -97,6 +104,41 @@ func Run(tr *trace.Trace, s Scheme, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// --- Delivery: per-frame availability --------------------------------
+	// avail[i] is the virtual time frame i's encoded bytes are in the
+	// streaming buffer; nil means everything is resident before playback
+	// (the original perfect-network pipeline, bit-for-bit). Availability
+	// comes from the seeded network model when enabled, merged with any
+	// arrival metadata recorded in the trace itself.
+	var (
+		avail []sim.Time
+		sched *delivery.Schedule
+	)
+	if cfg.Delivery.Enabled {
+		sizes := make([]int, len(tr.Frames))
+		for i := range tr.Frames {
+			sizes[i] = tr.Frames[i].EncodedBytes
+		}
+		sched, err = delivery.Plan(cfg.Delivery, sizes, maxInt(tr.FPS, 1))
+		if err != nil {
+			return nil, err
+		}
+		avail = sched.Avail
+	}
+	if tr.HasArrivals() {
+		if avail == nil {
+			avail = make([]sim.Time, len(tr.Frames))
+		}
+		for i := range tr.Frames {
+			if a := tr.Frames[i].Arrival; a > avail[i] {
+				avail[i] = a
+			}
+		}
+	}
+	if avail != nil {
+		startup = avail[0]
+	}
 	var trafficFrom sim.Time
 	emitTraffic := func(upTo sim.Time) {
 		if upTo > trafficFrom {
@@ -141,10 +183,11 @@ func Run(tr *trace.Trace, s Scheme, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{
-		Scheme:   s,
-		Workload: tr.Profile,
-		Frames:   len(tr.Frames),
-		Energy:   energy.NewBreakdown(),
+		Scheme:       s,
+		Workload:     tr.Profile,
+		Frames:       len(tr.Frames),
+		Energy:       energy.NewBreakdown(),
+		StartupDelay: startup,
 	}
 	if cfg.CollectFrameSamples {
 		res.FrameTimes = stats.NewSample(len(tr.Frames))
@@ -192,16 +235,39 @@ func Run(tr *trace.Trace, s Scheme, cfg Config) (*Result, error) {
 		return b
 	}
 	for batchStart := 0; batchStart < len(tr.Frames); {
-		batchEnd := minInt(batchStart+nextBatch(), len(tr.Frames))
+		b := nextBatch()
+		if avail != nil && b > 1 {
+			// Graceful degradation: decode only what the streaming buffer
+			// already holds, so a delivery stall costs one short rebuffer
+			// instead of racing ahead into frames that have not arrived and
+			// dropping a whole batch worth of deadlines. An empty buffer
+			// degrades to single-frame decoding (wait, then decode one).
+			ready := 0
+			for i := batchStart; i < len(tr.Frames) && i-batchStart < b; i++ {
+				if avail[i] <= now {
+					ready++
+				} else {
+					break
+				}
+			}
+			if ready < 1 {
+				ready = 1
+			}
+			if ready < b {
+				b = ready
+				res.BatchShrinks++
+			}
+		}
+		batchEnd := minInt(batchStart+b, len(tr.Frames))
 
 		// Wake the decoder for this batch. Frames are released to the
 		// decoder at the stream cadence in decode order (§2.1: the app
 		// calls the decoder every frame period); a batch of L frames is
 		// released L-1 periods earlier so the whole batch can run
 		// back-to-back and slow frames borrow slack from fast ones (§3.1).
-		wake := sim.Time(int64(period) * int64(batchStart-(batchEnd-batchStart-1)))
-		if wake < 0 {
-			wake = 0
+		wake := startup + sim.Time(int64(period)*int64(batchStart-(batchEnd-batchStart-1)))
+		if wake < startup {
+			wake = startup
 		}
 		if wake > now {
 			ledger.Spend(wake - now) // batch-boundary slack: idle/S1/S3 per break-even
@@ -211,6 +277,18 @@ func Run(tr *trace.Trace, s Scheme, cfg Config) (*Result, error) {
 		emitTraffic(now)
 		for i := batchStart; i < batchEnd; i++ {
 			f := &tr.Frames[i]
+
+			// Rebuffer: the frame's bytes have not arrived yet. The decoder
+			// waits, spending the stall as slack under the sleep policy; if
+			// the wait pushes past the deadline, the repeat-frame path below
+			// absorbs it as a drop rather than a failure.
+			if avail != nil && avail[i] > now {
+				wait := avail[i] - now
+				res.Rebuffers++
+				res.RebufferTime += wait
+				ledger.Spend(wait)
+				now = avail[i]
+			}
 
 			// Buffer backpressure: wait for a slot when the pipeline is
 			// poolCap frames ahead. The wait is slack spent per policy.
@@ -307,6 +385,9 @@ func Run(tr *trace.Trace, s Scheme, cfg Config) (*Result, error) {
 	}
 
 	// Tail: the decoder sleeps until the last frame has been scanned out.
+	// When the stream's tail rebuffered past its deadlines (maxDisplayed
+	// lags the frame count), the wall clock still ends after the final
+	// decode, so late-arrival slack is never silently dropped.
 	end := displayTime(maxDisplayed+1) + period
 	emitTraffic(end)
 	if end < now {
@@ -347,6 +428,16 @@ func Run(tr *trace.Trace, s Scheme, cfg Config) (*Result, error) {
 	res.Energy.Add(energy.CompMemBurst, menergy.Burst)
 	res.Energy.Add(energy.CompMemBackground, menergy.Background)
 	res.Energy.Add(energy.CompDC, disp.ActiveEnergy)
+
+	if sched != nil {
+		// Radio: idle tail/sleep runs to the end of playback, then the
+		// modem's four-state energy joins the breakdown as its own
+		// component (outside the nine-part Fig 11 split).
+		sched.Radio.Finish(end)
+		res.Net = sched.Stats
+		res.Radio = sched.Radio.Stats()
+		res.Energy.Add(energy.CompRadio, res.Radio.TotalEnergy())
+	}
 
 	machOn := s.Mach != MachOff
 	var gabMabs int64

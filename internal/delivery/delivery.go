@@ -1,0 +1,425 @@
+// Package delivery models the network half of the paper's §2.1 pipeline:
+// encoded segments are downloaded over an imperfect link into a streaming
+// buffer before the decoder ever sees them. The model is deterministic and
+// seeded — the same configuration always yields the same per-frame
+// availability times — so fault-injected runs replay bit-identically, the
+// same guarantee the rest of the simulator gives for decode content.
+//
+// The link model covers the failure modes that matter for energy and QoE on
+// handhelds: finite bandwidth, request latency with jitter, random segment
+// loss with timeout/retry/exponential-backoff recovery, injected
+// mid-transfer stalls, and periodic outages (link down windows). Downloads
+// are gated by a streaming-buffer occupancy model, so a fast link bursts
+// segments and then leaves the radio idle — the network-side race-to-sleep
+// that BurstLink-style delivery scheduling exploits. A power.RadioLedger
+// accounts the modem energy of the resulting schedule.
+package delivery
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"mach/internal/power"
+	"mach/internal/sim"
+)
+
+// Config shapes the delivery model. The zero value is the perfect network:
+// Enabled false means every frame is resident before playback starts, which
+// must reproduce the original pipeline bit-for-bit.
+type Config struct {
+	// Enabled turns the delivery model on. All other fields are ignored
+	// (and not validated) when false.
+	Enabled bool
+
+	// BandwidthBps is the link's transfer rate in bytes per second.
+	BandwidthBps float64
+	// RTT is the fixed per-request latency; Jitter adds a uniform draw in
+	// [0, Jitter) on top of it.
+	RTT    sim.Time
+	Jitter sim.Time
+
+	// SegmentFrames is the download granularity: frames per segment, all of
+	// which become available when the segment completes (a segment must be
+	// fully received before it can be demuxed).
+	SegmentFrames int
+	// BufferFrames caps streaming-buffer occupancy: the downloader pauses
+	// when fetching the next segment would exceed it. Must be at least
+	// SegmentFrames.
+	BufferFrames int
+
+	// LossRate is the per-attempt probability that a segment request is
+	// lost; the player notices after Timeout and retries with exponential
+	// backoff. StallRate is the per-segment probability of an injected
+	// mid-transfer stall of roughly StallTime (uniform 0.5x..1.5x).
+	LossRate  float64
+	StallRate float64
+	StallTime sim.Time
+
+	// OutagePeriod/OutageTime inject periodic connectivity loss: the link
+	// is down for OutageTime at the start of every OutagePeriod. Transfers
+	// in flight pause and resume; timeouts keep running.
+	OutagePeriod sim.Time
+	OutageTime   sim.Time
+
+	// Timeout bounds one attempt: a lost request, or a transfer that cannot
+	// complete within it, counts as a timeout and is retried. Zero disables
+	// timeouts (requires LossRate == 0).
+	Timeout sim.Time
+	// MaxRetries bounds recovery: after 1+MaxRetries failed attempts the
+	// segment is abandoned — the player conceals it and playback continues,
+	// which surfaces as dropped/repeated frames downstream.
+	MaxRetries int
+	// BackoffBase is the wait before the first retry; each further retry
+	// multiplies it by BackoffFactor.
+	BackoffBase   sim.Time
+	BackoffFactor float64
+
+	// Seed drives every random draw (loss, jitter, stalls). Same seed,
+	// same schedule.
+	Seed int64
+
+	// Radio is the modem power model used to price the schedule.
+	Radio power.RadioConfig
+}
+
+// DefaultConfig returns an LTE-class link, disabled. Set Enabled (or start
+// from a named profile) to turn the model on.
+func DefaultConfig() Config {
+	c := LTE()
+	c.Enabled = false
+	return c
+}
+
+// LTE returns a healthy cellular link: 8 MB/s, 30±20 ms latency, 0.5% loss.
+func LTE() Config {
+	return Config{
+		Enabled:       true,
+		BandwidthBps:  8e6,
+		RTT:           sim.FromMilliseconds(30),
+		Jitter:        sim.FromMilliseconds(20),
+		SegmentFrames: 8,
+		BufferFrames:  32,
+		LossRate:      0.005,
+		StallRate:     0,
+		StallTime:     sim.FromMilliseconds(200),
+		Timeout:       2 * sim.Second,
+		MaxRetries:    4,
+		BackoffBase:   sim.FromMilliseconds(50),
+		BackoffFactor: 2,
+		Seed:          1,
+		Radio:         power.DefaultRadio(),
+	}
+}
+
+// WiFi returns a fast, clean local link.
+func WiFi() Config {
+	c := LTE()
+	c.BandwidthBps = 25e6
+	c.RTT = sim.FromMilliseconds(5)
+	c.Jitter = sim.FromMilliseconds(5)
+	c.LossRate = 0.001
+	return c
+}
+
+// ThreeG returns a slow, lossy cellular link.
+func ThreeG() Config {
+	c := LTE()
+	c.BandwidthBps = 1.5e6
+	c.RTT = sim.FromMilliseconds(80)
+	c.Jitter = sim.FromMilliseconds(60)
+	c.LossRate = 0.02
+	c.StallRate = 0.02
+	c.StallTime = sim.FromMilliseconds(300)
+	return c
+}
+
+// Flaky returns a hostile link for fault-injection studies: slow, jittery,
+// lossy, frequently stalled, with a 1 s outage every 10 s.
+func Flaky() Config {
+	c := LTE()
+	c.BandwidthBps = 1e6
+	c.RTT = sim.FromMilliseconds(100)
+	c.Jitter = sim.FromMilliseconds(80)
+	c.LossRate = 0.05
+	c.StallRate = 0.10
+	c.StallTime = sim.FromMilliseconds(250)
+	c.OutagePeriod = 10 * sim.Second
+	c.OutageTime = 1 * sim.Second
+	return c
+}
+
+// ProfileByName maps a CLI name to a link profile.
+func ProfileByName(name string) (Config, error) {
+	switch strings.ToLower(name) {
+	case "lte", "4g", "default":
+		return LTE(), nil
+	case "wifi":
+		return WiFi(), nil
+	case "3g":
+		return ThreeG(), nil
+	case "flaky":
+		return Flaky(), nil
+	default:
+		return Config{}, fmt.Errorf("delivery: unknown network profile %q (want lte|wifi|3g|flaky)", name)
+	}
+}
+
+// Validate reports malformed configurations. A disabled config is always
+// valid, whatever its other fields hold.
+func (c Config) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	switch {
+	case !(c.BandwidthBps > 0) || math.IsInf(c.BandwidthBps, 0):
+		return fmt.Errorf("delivery: bandwidth %g B/s", c.BandwidthBps)
+	case math.IsNaN(c.LossRate) || math.IsNaN(c.StallRate) || math.IsNaN(c.BackoffFactor) || math.IsInf(c.BackoffFactor, 0):
+		return fmt.Errorf("delivery: non-finite rate/factor")
+	case c.RTT < 0 || c.Jitter < 0:
+		return fmt.Errorf("delivery: negative latency %v/%v", c.RTT, c.Jitter)
+	case c.SegmentFrames < 1 || c.SegmentFrames > 1024:
+		return fmt.Errorf("delivery: segment frames %d outside [1,1024]", c.SegmentFrames)
+	case c.BufferFrames < c.SegmentFrames:
+		return fmt.Errorf("delivery: buffer %d frames < segment %d", c.BufferFrames, c.SegmentFrames)
+	case c.LossRate < 0 || c.LossRate > 1:
+		return fmt.Errorf("delivery: loss rate %g outside [0,1]", c.LossRate)
+	case c.StallRate < 0 || c.StallRate > 1:
+		return fmt.Errorf("delivery: stall rate %g outside [0,1]", c.StallRate)
+	case c.StallRate > 0 && c.StallTime <= 0:
+		return fmt.Errorf("delivery: stall rate %g with stall time %v", c.StallRate, c.StallTime)
+	case c.Timeout < 0:
+		return fmt.Errorf("delivery: negative timeout %v", c.Timeout)
+	case c.LossRate > 0 && c.Timeout == 0:
+		return fmt.Errorf("delivery: loss rate %g needs a timeout to recover", c.LossRate)
+	case c.MaxRetries < 0 || c.MaxRetries > 16:
+		return fmt.Errorf("delivery: max retries %d outside [0,16]", c.MaxRetries)
+	case c.MaxRetries > 0 && c.BackoffBase < 0:
+		return fmt.Errorf("delivery: negative backoff %v", c.BackoffBase)
+	case c.MaxRetries > 0 && c.BackoffFactor < 1:
+		return fmt.Errorf("delivery: backoff factor %g < 1", c.BackoffFactor)
+	case c.OutagePeriod < 0 || c.OutageTime < 0:
+		return fmt.Errorf("delivery: negative outage %v/%v", c.OutagePeriod, c.OutageTime)
+	case c.OutagePeriod > 0 && c.OutageTime >= c.OutagePeriod:
+		return fmt.Errorf("delivery: outage %v covers the whole period %v (link never up)", c.OutageTime, c.OutagePeriod)
+	case c.OutageTime > 0 && c.OutagePeriod == 0:
+		return fmt.Errorf("delivery: outage time %v without a period", c.OutageTime)
+	}
+	return c.Radio.Validate()
+}
+
+// Segment records one download unit of the schedule.
+type Segment struct {
+	Index      int
+	FirstFrame int // decode-order index of the first frame
+	NumFrames  int
+	Bytes      int64
+	Start      sim.Time // first attempt issued (after buffer gating)
+	Done       sim.Time // completion (or give-up time when Abandoned)
+	Attempts   int
+	Abandoned  bool
+}
+
+// Stats aggregates delivery behaviour over a schedule.
+type Stats struct {
+	Segments  int
+	Frames    int
+	Bytes     int64
+	Attempts  int64
+	Retries   int64 // attempts beyond each segment's first
+	Timeouts  int64 // attempts that ended in a timeout (lost or too slow)
+	Stalls    int64
+	StallTime sim.Time
+	// BackoffTime is link-idle time spent waiting between retry attempts;
+	// BufferWait is time the downloader was paused on a full buffer.
+	BackoffTime sim.Time
+	BufferWait  sim.Time
+	// TransferTime is total link-active time (latency + payload + stalls).
+	TransferTime sim.Time
+	Abandoned    int64
+	LastDone     sim.Time
+}
+
+// Schedule is the planned delivery of one stream: the per-frame availability
+// times the pipeline consumes, plus the per-segment record, aggregate stats,
+// and the radio ledger priced over the download windows. Call
+// Radio.Finish(wallEnd) once playback ends to account the final idle tail.
+type Schedule struct {
+	Avail    []sim.Time // decode-order frame availability
+	Segments []Segment
+	Stats    Stats
+	Radio    *power.RadioLedger
+}
+
+// Plan computes the delivery schedule for a stream of per-frame encoded
+// sizes (decode order) played at fps. It is pure and deterministic: the same
+// (cfg, sizes, fps) always returns the same schedule.
+func Plan(cfg Config, sizes []int, fps int) (*Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled {
+		return nil, fmt.Errorf("delivery: Plan called with the model disabled")
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("delivery: no frames")
+	}
+	if fps <= 0 {
+		return nil, fmt.Errorf("delivery: fps %d", fps)
+	}
+	for i, s := range sizes {
+		if s < 0 {
+			return nil, fmt.Errorf("delivery: frame %d has negative size %d", i, s)
+		}
+	}
+
+	radio, err := power.NewRadioLedger(cfg.Radio)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	period := sim.Time(int64(sim.Second) / int64(fps))
+
+	sched := &Schedule{
+		Avail: make([]sim.Time, len(sizes)),
+		Radio: radio,
+	}
+	st := &sched.Stats
+	st.Frames = len(sizes)
+
+	// maxBackoff/maxTransfer bound the exponential growth and pathological
+	// transfers so long retry chains never overflow sim.Time arithmetic.
+	const (
+		maxBackoff  = 60 * sim.Second
+		maxTransfer = 3600 * sim.Second
+	)
+
+	var cur sim.Time // link-free time: next instant a request may be issued
+	delivered := 0
+	for first := 0; first < len(sizes); first += cfg.SegmentFrames {
+		n := cfg.SegmentFrames
+		if first+n > len(sizes) {
+			n = len(sizes) - first
+		}
+		var bytes int64
+		for _, s := range sizes[first : first+n] {
+			bytes += int64(s)
+		}
+
+		// Streaming-buffer gate: fetching this segment may not push
+		// occupancy past BufferFrames. Playback consumes one frame per
+		// period, so the earliest admissible start is the consumption time
+		// of frame (delivered + n - BufferFrames).
+		if over := delivered + n - cfg.BufferFrames; over > 0 {
+			gate := period * sim.Time(over)
+			if gate > cur {
+				st.BufferWait += gate - cur
+				cur = gate
+			}
+		}
+
+		seg := Segment{Index: len(sched.Segments), FirstFrame: first, NumFrames: n, Bytes: bytes, Start: cur}
+		transfer := sim.FromSeconds(float64(bytes) / cfg.BandwidthBps)
+		// Clamp pathological size/bandwidth combinations (adversarial trace
+		// input) so virtual-time arithmetic stays in range; an hour-long
+		// segment transfer is far beyond any timeout anyway.
+		if transfer < 0 || transfer > maxTransfer {
+			transfer = maxTransfer
+		}
+		backoff := cfg.BackoffBase
+		for {
+			seg.Attempts++
+			st.Attempts++
+			if seg.Attempts > 1 {
+				st.Retries++
+			}
+
+			dur := cfg.RTT + transfer
+			lost := cfg.LossRate > 0 && rng.Float64() < cfg.LossRate
+			if !lost {
+				if cfg.Jitter > 0 {
+					dur += sim.Time(rng.Int63n(int64(cfg.Jitter)))
+				}
+				if cfg.StallRate > 0 && rng.Float64() < cfg.StallRate {
+					stall := sim.Time(float64(cfg.StallTime) * (0.5 + rng.Float64()))
+					dur += stall
+					st.Stalls++
+					st.StallTime += stall
+				}
+			}
+
+			end := advance(cfg, cur, dur)
+			// A lost request, or a transfer the link cannot finish inside
+			// the timeout window, counts as a timeout.
+			timedOut := lost || (cfg.Timeout > 0 && end-cur > cfg.Timeout)
+			if timedOut {
+				end = cur + cfg.Timeout
+				st.Timeouts++
+			}
+			radio.Transfer(cur, end)
+			st.TransferTime += end - cur
+			cur = end
+			if !timedOut {
+				break
+			}
+			if seg.Attempts > cfg.MaxRetries {
+				// Recovery exhausted: the player abandons the segment and
+				// conceals it; frames become "available" at give-up time so
+				// playback degrades instead of deadlocking.
+				seg.Abandoned = true
+				st.Abandoned++
+				break
+			}
+			st.BackoffTime += backoff
+			cur += backoff
+			backoff = sim.Time(float64(backoff) * cfg.BackoffFactor)
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		seg.Done = cur
+		for i := first; i < first+n; i++ {
+			sched.Avail[i] = cur
+		}
+		delivered += n
+		st.Bytes += bytes
+		sched.Segments = append(sched.Segments, seg)
+	}
+	st.Segments = len(sched.Segments)
+	st.LastDone = cur
+	return sched, nil
+}
+
+// advance returns the completion time of `need` link-active work starting at
+// `start`, pausing through the periodic outage windows ([k*P, k*P+D) for
+// every k). With no outages configured it is start+need. Closed-form (no
+// per-period loop), so adversarial durations cannot make planning hang.
+func advance(cfg Config, start, need sim.Time) sim.Time {
+	if need <= 0 {
+		return start
+	}
+	p, d := cfg.OutagePeriod, cfg.OutageTime
+	if p <= 0 || d <= 0 {
+		return start + need
+	}
+	up := p - d // uptime per period (Validate guarantees > 0)
+	t := start
+	if t < 0 {
+		t = 0
+	}
+	// Snap out of an outage window the start falls inside.
+	if off := t % p; off < d {
+		t += d - off
+	}
+	// Uptime remaining in the current period.
+	room := p - t%p
+	if need <= room {
+		return t + need
+	}
+	need -= room
+	t += room // now at a period boundary, facing that period's outage
+	// Periods fully consumed before the one the transfer finishes in.
+	full := (need - 1) / up
+	return t + full*p + d + (need - full*up)
+}

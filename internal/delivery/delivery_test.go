@@ -1,0 +1,242 @@
+package delivery
+
+import (
+	"reflect"
+	"testing"
+
+	"mach/internal/sim"
+)
+
+// testSizes returns a plausible stream: 12 frames around 20 KB each.
+func testSizes(n int) []int {
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = 18000 + 500*(i%5)
+	}
+	return sizes
+}
+
+func TestValidateRejections(t *testing.T) {
+	mut := func(f func(*Config)) Config {
+		c := LTE()
+		f(&c)
+		return c
+	}
+	bad := map[string]Config{
+		"zero bandwidth":     mut(func(c *Config) { c.BandwidthBps = 0 }),
+		"negative bandwidth": mut(func(c *Config) { c.BandwidthBps = -1 }),
+		"nan loss":           mut(func(c *Config) { c.LossRate = nan() }),
+		"loss > 1":           mut(func(c *Config) { c.LossRate = 1.5 }),
+		"negative rtt":       mut(func(c *Config) { c.RTT = -1 }),
+		"zero segment":       mut(func(c *Config) { c.SegmentFrames = 0 }),
+		"huge segment":       mut(func(c *Config) { c.SegmentFrames = 4096 }),
+		"buffer < segment":   mut(func(c *Config) { c.BufferFrames = c.SegmentFrames - 1 }),
+		"loss, no timeout":   mut(func(c *Config) { c.Timeout = 0 }),
+		"retries > 16":       mut(func(c *Config) { c.MaxRetries = 99 }),
+		"backoff factor < 1": mut(func(c *Config) { c.BackoffFactor = 0.5 }),
+		"outage >= period":   mut(func(c *Config) { c.OutagePeriod = sim.Second; c.OutageTime = sim.Second }),
+		"outage, no period":  mut(func(c *Config) { c.OutageTime = sim.Second }),
+		"stall, no time":     mut(func(c *Config) { c.StallRate = 0.5; c.StallTime = 0 }),
+	}
+	for name, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+	// A disabled config is valid no matter what garbage it holds.
+	c := Config{Enabled: false, BandwidthBps: -1, SegmentFrames: -5}
+	if err := c.Validate(); err != nil {
+		t.Errorf("disabled config rejected: %v", err)
+	}
+	for _, name := range []string{"lte", "wifi", "3g", "flaky"} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", name, err)
+		}
+	}
+	if _, err := ProfileByName("carrier-pigeon"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	cfg := Flaky()
+	a, err := Plan(cfg, testSizes(48), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(cfg, testSizes(48), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Avail, b.Avail) || a.Stats != b.Stats {
+		t.Fatal("same seed produced different schedules")
+	}
+	cfg.Seed = 99
+	c, err := Plan(cfg, testSizes(48), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Avail, c.Avail) {
+		t.Fatal("different seeds produced identical schedules (rng unused?)")
+	}
+}
+
+func TestPlanAvailabilityShape(t *testing.T) {
+	cfg := LTE()
+	cfg.LossRate = 0 // keep it clean for the shape checks
+	sched, err := Plan(cfg, testSizes(40), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Avail) != 40 {
+		t.Fatalf("avail length %d, want 40", len(sched.Avail))
+	}
+	// Availability is nondecreasing in decode order (the link serializes
+	// segments) and positive (RTT + transfer is never free).
+	for i := 1; i < len(sched.Avail); i++ {
+		if sched.Avail[i] < sched.Avail[i-1] {
+			t.Fatalf("avail[%d]=%v < avail[%d]=%v", i, sched.Avail[i], i-1, sched.Avail[i-1])
+		}
+	}
+	if sched.Avail[0] <= 0 {
+		t.Fatal("first segment available at time zero")
+	}
+	wantSegs := (40 + cfg.SegmentFrames - 1) / cfg.SegmentFrames
+	if sched.Stats.Segments != wantSegs || len(sched.Segments) != wantSegs {
+		t.Fatalf("segments = %d/%d, want %d", sched.Stats.Segments, len(sched.Segments), wantSegs)
+	}
+	if sched.Stats.LastDone != sched.Avail[len(sched.Avail)-1] {
+		t.Fatal("LastDone disagrees with the final frame's availability")
+	}
+}
+
+func TestPlanBufferGating(t *testing.T) {
+	// A fast link with a shallow buffer must pause between bursts: buffer
+	// wait accrues and the radio sees idle gaps it can demote across.
+	cfg := WiFi()
+	cfg.LossRate = 0
+	cfg.SegmentFrames = 4
+	cfg.BufferFrames = 4
+	sched, err := Plan(cfg, testSizes(64), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Stats.BufferWait == 0 {
+		t.Fatal("fast link with shallow buffer never waited on occupancy")
+	}
+	st := sched.Radio.Stats()
+	if st.Wakeups < 2 {
+		t.Fatalf("radio woke %d times; buffer gating should force sleep cycles", st.Wakeups)
+	}
+}
+
+func TestPlanLossRetriesAndAbandon(t *testing.T) {
+	cfg := LTE()
+	cfg.LossRate = 1 // every attempt lost
+	cfg.MaxRetries = 3
+	sched, err := Plan(cfg, testSizes(8), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sched.Stats
+	if st.Abandoned != 1 {
+		t.Fatalf("abandoned = %d, want 1 (the single segment)", st.Abandoned)
+	}
+	if st.Attempts != int64(1+cfg.MaxRetries) {
+		t.Fatalf("attempts = %d, want %d", st.Attempts, 1+cfg.MaxRetries)
+	}
+	if st.Retries != int64(cfg.MaxRetries) || st.Timeouts != st.Attempts {
+		t.Fatalf("retries/timeouts = %d/%d, want %d/%d", st.Retries, st.Timeouts, cfg.MaxRetries, st.Attempts)
+	}
+	if st.BackoffTime == 0 {
+		t.Fatal("retries spent no backoff time")
+	}
+	// Frames still become available (at give-up time): playback degrades
+	// instead of deadlocking.
+	for i, a := range sched.Avail {
+		if a <= 0 {
+			t.Fatalf("frame %d never became available", i)
+		}
+	}
+	if !sched.Segments[0].Abandoned {
+		t.Fatal("segment not marked abandoned")
+	}
+}
+
+func TestPlanStallsAccounted(t *testing.T) {
+	cfg := LTE()
+	cfg.LossRate = 0
+	cfg.StallRate = 1
+	sched, err := Plan(cfg, testSizes(32), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Stats.Stalls != int64(sched.Stats.Segments) {
+		t.Fatalf("stalls = %d, want one per segment (%d)", sched.Stats.Stalls, sched.Stats.Segments)
+	}
+	if sched.Stats.StallTime < sim.Time(sched.Stats.Stalls)*cfg.StallTime/2 {
+		t.Fatalf("stall time %v implausibly small", sched.Stats.StallTime)
+	}
+}
+
+func TestPlanRejects(t *testing.T) {
+	cfg := LTE()
+	if _, err := Plan(cfg, nil, 30); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := Plan(cfg, []int{100}, 0); err == nil {
+		t.Error("zero fps accepted")
+	}
+	if _, err := Plan(cfg, []int{-1}, 30); err == nil {
+		t.Error("negative frame size accepted")
+	}
+	if _, err := Plan(DefaultConfig(), []int{100}, 30); err == nil {
+		t.Error("disabled config accepted by Plan")
+	}
+	cfg.BandwidthBps = 0
+	if _, err := Plan(cfg, []int{100}, 30); err == nil {
+		t.Error("invalid config accepted by Plan")
+	}
+}
+
+func TestAdvanceOutages(t *testing.T) {
+	cfg := LTE()
+	cfg.OutagePeriod = sim.Second
+	cfg.OutageTime = sim.FromMilliseconds(250) // up 750ms of every 1s
+
+	cases := []struct {
+		start, need, want sim.Time
+	}{
+		// Entirely inside one uptime window.
+		{sim.FromMilliseconds(300), sim.FromMilliseconds(100), sim.FromMilliseconds(400)},
+		// Starting inside an outage snaps to its end.
+		{sim.FromMilliseconds(100), sim.FromMilliseconds(100), sim.FromMilliseconds(350)},
+		// Spanning a period boundary pays the next outage.
+		{sim.FromMilliseconds(900), sim.FromMilliseconds(200), sim.FromMilliseconds(1350)},
+		// Multiple full periods of work.
+		{sim.FromMilliseconds(250), 3 * sim.FromMilliseconds(750), sim.FromMilliseconds(3000)},
+	}
+	for i, c := range cases {
+		if got := advance(cfg, c.start, c.need); got != c.want {
+			t.Errorf("case %d: advance(%v, %v) = %v, want %v", i, c.start, c.need, got, c.want)
+		}
+	}
+
+	// No outages configured: plain addition.
+	if got := advance(LTE(), 100, 50); got != 150 {
+		t.Errorf("no-outage advance = %v, want 150", got)
+	}
+	// Zero need never moves time.
+	if got := advance(cfg, 123, 0); got != 123 {
+		t.Errorf("zero-need advance = %v, want 123", got)
+	}
+}

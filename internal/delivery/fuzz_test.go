@@ -1,0 +1,79 @@
+package delivery
+
+import (
+	"testing"
+
+	"mach/internal/sim"
+)
+
+// FuzzDeliverySchedule drives Plan with arbitrary configurations and frame
+// sizes: whatever the inputs, it must either return a validation error or a
+// well-formed schedule — never panic, hang, or overflow into negative time.
+// Frame sizes are derived from the fuzzed byte string (3 bytes per frame), so
+// allocation stays proportional to the input.
+func FuzzDeliverySchedule(f *testing.F) {
+	f.Add(float64(8e6), int64(sim.FromMilliseconds(30)), int64(sim.FromMilliseconds(20)),
+		8, 32, 0.005, 0.1, int64(sim.FromMilliseconds(200)),
+		int64(10*sim.Second), int64(sim.Second), int64(2*sim.Second),
+		4, int64(sim.FromMilliseconds(50)), 2.0, int64(1), 30,
+		[]byte{0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70, 0x80, 0x90})
+	f.Add(float64(-1), int64(-5), int64(0), 0, 0, 2.0, -1.0, int64(0),
+		int64(1), int64(1), int64(0), 99, int64(-1), 0.0, int64(0), 0, []byte{0xFF})
+
+	f.Fuzz(func(t *testing.T, bw float64, rtt, jitter int64, segFrames, bufFrames int,
+		loss, stall float64, stallTime, outP, outT, timeout int64,
+		retries int, backoff int64, factor float64, seed int64, fps int, raw []byte) {
+
+		cfg := Config{
+			Enabled:       true,
+			BandwidthBps:  bw,
+			RTT:           sim.Time(rtt),
+			Jitter:        sim.Time(jitter),
+			SegmentFrames: segFrames,
+			BufferFrames:  bufFrames,
+			LossRate:      loss,
+			StallRate:     stall,
+			StallTime:     sim.Time(stallTime),
+			OutagePeriod:  sim.Time(outP),
+			OutageTime:    sim.Time(outT),
+			Timeout:       sim.Time(timeout),
+			MaxRetries:    retries,
+			BackoffBase:   sim.Time(backoff),
+			BackoffFactor: factor,
+			Seed:          seed,
+			Radio:         DefaultConfig().Radio,
+		}
+		sizes := make([]int, len(raw)/3+1)
+		for i := range sizes {
+			var v int
+			for k := 0; k < 3 && 3*i+k < len(raw); k++ {
+				v = v<<8 | int(raw[3*i+k])
+			}
+			sizes[i] = v
+		}
+
+		sched, err := Plan(cfg, sizes, fps)
+		if err != nil {
+			return
+		}
+		if len(sched.Avail) != len(sizes) {
+			t.Fatalf("avail length %d != %d frames", len(sched.Avail), len(sizes))
+		}
+		prev := sim.Time(0)
+		for i, a := range sched.Avail {
+			if a < prev {
+				t.Fatalf("avail[%d]=%v moves backwards from %v", i, a, prev)
+			}
+			prev = a
+		}
+		st := sched.Stats
+		if st.Attempts < int64(st.Segments) || st.Retries < 0 || st.Timeouts < 0 ||
+			st.BackoffTime < 0 || st.BufferWait < 0 || st.TransferTime < 0 || st.StallTime < 0 {
+			t.Fatalf("negative or inconsistent stats: %+v", st)
+		}
+		rs := sched.Radio.Stats()
+		if rs.ActiveTime < 0 || rs.TailTime < 0 || rs.SleepTime < 0 || rs.TotalEnergy() < 0 {
+			t.Fatalf("negative radio accounting: %+v", rs)
+		}
+	})
+}

@@ -16,6 +16,12 @@ const (
 	CompMemActPre     = "mem-actpre"
 	CompTransition    = "transition"
 	CompMachOverhead  = "mach-overhead"
+
+	// CompRadio is the modem energy of the delivery schedule. It is not
+	// part of Components(): the paper's Fig 11 split has nine bars and the
+	// perfect-network runs must keep producing them unchanged; runs with
+	// the delivery model enabled add this component on top.
+	CompRadio = "radio"
 )
 
 // Components lists the breakdown keys in canonical order.

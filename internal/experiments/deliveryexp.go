@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mach/internal/core"
+	"mach/internal/delivery"
+	"mach/internal/stats"
+)
+
+// runIsolated executes fn(i) for every index in [0,n) concurrently,
+// recovering panics into errors so a single faulted cell cannot take down a
+// whole sweep. Results land in index order, so output built from them stays
+// deterministic regardless of goroutine scheduling.
+func runIsolated(n int, fn func(i int) error) []error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("panic: %v", p)
+				}
+			}()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+// Delivery sweeps injected stall rate against link bandwidth and reports how
+// the three headline schemes degrade when the network, not the decoder, is
+// the bottleneck: energy per frame, drops, rebuffering, retry traffic, and
+// the modem energy the burst-download schedule costs. The baseline rows show
+// the perfect-network invariant breaking down gradually; race-to-sleep and
+// GAB keep their ordering because rebuffer waits are spent through the same
+// sleep policy as decode slack.
+func (r *Runner) Delivery(stallRates []float64, bandwidthsMbps []float64) (*stats.Table, error) {
+	if len(stallRates) == 0 {
+		stallRates = []float64{0, 0.1, 0.3}
+	}
+	if len(bandwidthsMbps) == 0 {
+		// Around the default-scale stream bitrate: comfortably above it,
+		// just below it, and well below it.
+		bandwidthsMbps = []float64{64, 48, 32}
+	}
+	key := r.Cfg.Videos[0]
+	tr, err := r.trace(key)
+	if err != nil {
+		return nil, err
+	}
+	schemes := []core.Scheme{
+		core.Baseline(),
+		core.RaceToSleep(core.DefaultBatch),
+		core.GAB(core.DefaultBatch),
+	}
+
+	type cell struct {
+		mbps, stall float64
+		scheme      core.Scheme
+		res         *core.Result
+	}
+	var cells []cell
+	for _, mbps := range bandwidthsMbps {
+		for _, stall := range stallRates {
+			for _, s := range schemes {
+				cells = append(cells, cell{mbps: mbps, stall: stall, scheme: s})
+			}
+		}
+	}
+
+	errs := runIsolated(len(cells), func(i int) error {
+		c := &cells[i]
+		cfg := r.Cfg.Platform
+		d := delivery.LTE()
+		d.BandwidthBps = c.mbps * 1e6 / 8
+		d.StallRate = c.stall
+		cfg.Delivery = d
+		res, err := core.Run(tr, c.scheme, cfg)
+		if err != nil {
+			return err
+		}
+		c.res = res
+		return nil
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+
+	tb := stats.NewTable("Mbps", "stall", "scheme", "mJ/frame", "norm", "drops",
+		"rebuf", "rebuf-ms", "retries", "radio-mJ/frame")
+	for i, c := range cells {
+		// The first scheme of each (bandwidth, stall) group is the baseline
+		// the group normalizes against.
+		base := cells[i-i%len(schemes)].res
+		tb.AddRow(
+			fmt.Sprintf("%.0f", c.mbps),
+			fmt.Sprintf("%.2f", c.stall),
+			c.scheme.Name,
+			fmt.Sprintf("%.2f", 1e3*c.res.EnergyPerFrame()),
+			fmt.Sprintf("%.3f", c.res.NormalizedTo(base)),
+			c.res.Drops,
+			c.res.Rebuffers,
+			fmt.Sprintf("%.1f", c.res.RebufferTime.Milliseconds()),
+			c.res.Net.Retries,
+			fmt.Sprintf("%.3f", 1e3*c.res.Radio.TotalEnergy()/float64(len(tr.Frames))))
+	}
+	return tb, nil
+}
+
+// DeliveryProfiles runs GAB under each named link profile, the one-line
+// summary of how link quality maps to rebuffering and radio energy.
+func (r *Runner) DeliveryProfiles() (*stats.Table, error) {
+	key := r.Cfg.Videos[0]
+	tr, err := r.trace(key)
+	if err != nil {
+		return nil, err
+	}
+	profiles := []struct {
+		name string
+		cfg  delivery.Config
+	}{
+		{"perfect", delivery.DefaultConfig()},
+		{"wifi", delivery.WiFi()},
+		{"lte", delivery.LTE()},
+		{"3g", delivery.ThreeG()},
+		{"flaky", delivery.Flaky()},
+	}
+	tb := stats.NewTable("profile", "mJ/frame", "drops", "rebuf", "rebuf-ms",
+		"retries", "abandoned", "radio-mJ/frame", "S3%")
+	for _, p := range profiles {
+		cfg := r.Cfg.Platform
+		cfg.Delivery = p.cfg
+		res, err := core.Run(tr, core.GAB(core.DefaultBatch), cfg)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(p.name,
+			fmt.Sprintf("%.2f", 1e3*res.EnergyPerFrame()),
+			res.Drops,
+			res.Rebuffers,
+			fmt.Sprintf("%.1f", res.RebufferTime.Milliseconds()),
+			res.Net.Retries,
+			res.Net.Abandoned,
+			fmt.Sprintf("%.3f", 1e3*res.Radio.TotalEnergy()/float64(len(tr.Frames))),
+			fmt.Sprintf("%.1f", 100*res.S3Residency()))
+	}
+	return tb, nil
+}

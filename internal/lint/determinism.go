@@ -20,7 +20,7 @@ import (
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "forbid wall-clock time, the global math/rand source, and order-dependent " +
-		"map iteration in the simulation packages (internal/sim, core, video, mach, experiments)",
+		"map iteration in the simulation packages (internal/sim, core, video, mach, delivery, experiments)",
 	Run: runDeterminism,
 }
 
@@ -32,6 +32,7 @@ var determinismScope = []string{
 	"mach/internal/core",
 	"mach/internal/video",
 	"mach/internal/mach",
+	"mach/internal/delivery",
 	"mach/internal/experiments",
 }
 

@@ -1,0 +1,159 @@
+package power
+
+import (
+	"fmt"
+
+	"mach/internal/sim"
+)
+
+// RadioConfig models the cellular/WiFi modem's power states for the
+// streaming-delivery path. Handheld radios are the network-side analogue of
+// the decoder's P/S1/S3 machine: a high-power active state while bits move,
+// a promoted "tail" state the radio lingers in after the last transfer
+// (RRC_CONNECTED / DRX inactivity timers), and a deep idle it only reaches
+// once the tail expires. Burst-downloading whole segments amortizes the tail
+// across many frames exactly as decode batching amortizes the S3 transition.
+type RadioConfig struct {
+	ActivePower float64 // W while transferring
+	TailPower   float64 // W in the post-transfer high-power tail
+	SleepPower  float64 // W in deep idle
+
+	// TailTime is how long the radio dwells in the tail after activity
+	// before demoting to sleep.
+	TailTime sim.Time
+	// WakeLatency is the sleep->active promotion latency (paid inside the
+	// gap that precedes a transfer, not added to transfer time).
+	WakeLatency sim.Time
+	// WakeEnergy is the energy of one sleep->active promotion.
+	WakeEnergy float64
+}
+
+// DefaultRadio returns an LTE-class modem: ~1 W moving bits, a 0.6 W tail
+// held for 100 ms, ~12 mW deep idle, 15 mJ per wake-up. The values follow
+// the shape (not any one vendor's numbers) of the smartphone radio
+// measurements in the mobile-streaming energy literature.
+func DefaultRadio() RadioConfig {
+	return RadioConfig{
+		ActivePower: 1.0,
+		TailPower:   0.6,
+		SleepPower:  0.012,
+		TailTime:    sim.FromMilliseconds(100),
+		WakeLatency: sim.FromMilliseconds(10),
+		WakeEnergy:  15e-3,
+	}
+}
+
+// Validate reports malformed configurations.
+func (c RadioConfig) Validate() error {
+	if c.ActivePower < c.TailPower || c.TailPower < c.SleepPower || c.SleepPower < 0 {
+		return fmt.Errorf("power: want radio active >= tail >= sleep >= 0, got %g/%g/%g",
+			c.ActivePower, c.TailPower, c.SleepPower)
+	}
+	if c.TailTime < 0 || c.WakeLatency < 0 || c.WakeEnergy < 0 {
+		return fmt.Errorf("power: negative radio tail/wake cost")
+	}
+	return nil
+}
+
+// RadioStats is the radio ledger's accumulated residency and energy.
+type RadioStats struct {
+	ActiveTime sim.Time
+	TailTime   sim.Time
+	SleepTime  sim.Time
+	Wakeups    int64
+
+	ActiveEnergy float64
+	TailEnergy   float64
+	SleepEnergy  float64
+	WakeEnergy   float64
+}
+
+// TotalEnergy returns the radio's total energy in joules.
+func (s RadioStats) TotalEnergy() float64 {
+	return s.ActiveEnergy + s.TailEnergy + s.SleepEnergy + s.WakeEnergy
+}
+
+// RadioLedger accounts radio residency across a sequence of transfer
+// windows, in nondecreasing time order. The zero value is unusable;
+// construct with NewRadioLedger. The radio starts asleep at time zero.
+type RadioLedger struct {
+	cfg    RadioConfig
+	cursor sim.Time // end of the last accounted interval
+	awake  bool     // radio is in active/tail (not yet demoted to sleep)
+
+	stats RadioStats
+}
+
+// NewRadioLedger returns a ledger, or an error for invalid configs.
+func NewRadioLedger(cfg RadioConfig) (*RadioLedger, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &RadioLedger{cfg: cfg}, nil
+}
+
+// Config returns the ledger's configuration.
+func (l *RadioLedger) Config() RadioConfig { return l.cfg }
+
+// Stats returns the accumulated residency and energy.
+func (l *RadioLedger) Stats() RadioStats { return l.stats }
+
+// TotalEnergy returns the radio's total energy so far, in joules.
+func (l *RadioLedger) TotalEnergy() float64 { return l.stats.TotalEnergy() }
+
+// idle accounts the gap [l.cursor, upTo) with no transfer: tail until the
+// inactivity timer expires, then sleep.
+func (l *RadioLedger) idle(upTo sim.Time) {
+	gap := upTo - l.cursor
+	if gap <= 0 {
+		return
+	}
+	if l.awake {
+		tail := gap
+		if tail > l.cfg.TailTime {
+			tail = l.cfg.TailTime
+		}
+		l.stats.TailTime += tail
+		l.stats.TailEnergy += l.cfg.TailPower * tail.Seconds()
+		gap -= tail
+		if gap > 0 {
+			l.awake = false
+		}
+	}
+	if gap > 0 {
+		l.stats.SleepTime += gap
+		l.stats.SleepEnergy += l.cfg.SleepPower * gap.Seconds()
+	}
+	l.cursor = upTo
+}
+
+// Transfer accounts one transfer window [from, to): the preceding gap is
+// spent in tail/sleep, a wake-up is charged if the radio had demoted, and
+// the window itself runs at active power. Windows must not move backwards
+// in time; an overlapping window is clipped to the cursor.
+func (l *RadioLedger) Transfer(from, to sim.Time) {
+	if from > l.cursor {
+		l.idle(from)
+	}
+	if !l.awake {
+		l.stats.Wakeups++
+		l.stats.WakeEnergy += l.cfg.WakeEnergy
+		l.awake = true
+	}
+	if to <= l.cursor {
+		return
+	}
+	from = l.cursor
+	l.stats.ActiveTime += to - from
+	l.stats.ActiveEnergy += l.cfg.ActivePower * (to - from).Seconds()
+	l.cursor = to
+}
+
+// Finish accounts the final idle stretch up to end (typically the run's
+// wall-clock end, so the radio's tail decay and deep idle over the whole
+// playback are captured). Safe to call with end before the cursor.
+func (l *RadioLedger) Finish(end sim.Time) {
+	if end > l.cursor {
+		l.idle(end)
+	}
+}

@@ -1,0 +1,104 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"mach/internal/sim"
+)
+
+func TestRadioConfigValidate(t *testing.T) {
+	good := DefaultRadio()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []RadioConfig{
+		{ActivePower: 0.5, TailPower: 0.6, SleepPower: 0.01}, // tail above active
+		{ActivePower: 1, TailPower: 0.01, SleepPower: 0.6},   // sleep above tail
+		{ActivePower: 1, TailPower: 0.6, SleepPower: -0.1},   // negative sleep
+		func() RadioConfig { c := DefaultRadio(); c.TailTime = -1; return c }(),
+		func() RadioConfig { c := DefaultRadio(); c.WakeEnergy = -1; return c }(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+	if _, err := NewRadioLedger(bad[0]); err == nil {
+		t.Error("NewRadioLedger accepted an invalid config")
+	}
+}
+
+func TestRadioLedgerAccounting(t *testing.T) {
+	cfg := DefaultRadio()
+	l, err := NewRadioLedger(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Starts asleep: the first transfer charges one wake-up plus the sleep
+	// residency of the leading gap.
+	l.Transfer(sim.FromMilliseconds(500), sim.FromMilliseconds(600))
+	st := l.Stats()
+	if st.Wakeups != 1 {
+		t.Fatalf("wakeups = %d, want 1", st.Wakeups)
+	}
+	if st.SleepTime != sim.FromMilliseconds(500) {
+		t.Fatalf("sleep time = %v, want 500ms", st.SleepTime)
+	}
+	if st.ActiveTime != sim.FromMilliseconds(100) {
+		t.Fatalf("active time = %v, want 100ms", st.ActiveTime)
+	}
+
+	// A short gap stays inside the tail: no second wake-up.
+	l.Transfer(sim.FromMilliseconds(650), sim.FromMilliseconds(700))
+	st = l.Stats()
+	if st.Wakeups != 1 {
+		t.Fatalf("wakeups after tail-gap transfer = %d, want 1", st.Wakeups)
+	}
+	if st.TailTime != sim.FromMilliseconds(50) {
+		t.Fatalf("tail time = %v, want 50ms", st.TailTime)
+	}
+
+	// A long gap demotes to sleep after TailTime and re-wakes.
+	l.Transfer(sim.Second, sim.Second+sim.FromMilliseconds(100))
+	st = l.Stats()
+	if st.Wakeups != 2 {
+		t.Fatalf("wakeups after long gap = %d, want 2", st.Wakeups)
+	}
+
+	// Finish accounts the final tail decay and sleep.
+	l.Finish(2 * sim.Second)
+	st = l.Stats()
+	span := st.ActiveTime + st.TailTime + st.SleepTime
+	if span != 2*sim.Second {
+		t.Fatalf("residency sums to %v, want 2s", span)
+	}
+	wantEnergy := cfg.ActivePower*st.ActiveTime.Seconds() +
+		cfg.TailPower*st.TailTime.Seconds() +
+		cfg.SleepPower*st.SleepTime.Seconds() +
+		float64(st.Wakeups)*cfg.WakeEnergy
+	if math.Abs(st.TotalEnergy()-wantEnergy) > 1e-12 {
+		t.Fatalf("total energy %g, want %g", st.TotalEnergy(), wantEnergy)
+	}
+}
+
+func TestRadioLedgerOverlapClipped(t *testing.T) {
+	l, err := NewRadioLedger(DefaultRadio())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Transfer(0, sim.FromMilliseconds(100))
+	// Overlapping and fully-contained windows must not double-charge.
+	l.Transfer(sim.FromMilliseconds(50), sim.FromMilliseconds(150))
+	l.Transfer(sim.FromMilliseconds(20), sim.FromMilliseconds(30))
+	st := l.Stats()
+	if st.ActiveTime != sim.FromMilliseconds(150) {
+		t.Fatalf("active time = %v, want 150ms", st.ActiveTime)
+	}
+	// Finish before the cursor is a no-op.
+	l.Finish(sim.FromMilliseconds(10))
+	if got := l.Stats(); got != st {
+		t.Fatalf("Finish before cursor changed stats: %+v -> %+v", st, got)
+	}
+}

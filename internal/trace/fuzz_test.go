@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"mach/internal/sim"
+)
+
+// FuzzTraceLoad feeds arbitrary bytes to Load. Trace files are untrusted
+// input, so whatever the bytes, Load must return (possibly an error) without
+// panicking and without unbounded allocation — every length in the format is
+// capped before it sizes a buffer.
+func FuzzTraceLoad(f *testing.F) {
+	// Seed the corpus with valid files (v2, with and without arrivals) so
+	// the fuzzer starts from deep coverage of the happy path.
+	tr := buildTestTrace(f, "V1", 2)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	arr := make([]sim.Time, len(tr.Frames))
+	for i := range arr {
+		arr[i] = sim.FromMilliseconds(float64(7 * i))
+	}
+	if err := tr.SetArrivals(arr); err != nil {
+		f.Fatal(err)
+	}
+	buf.Reset()
+	if err := tr.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(magic))
+	f.Add([]byte("MTRC\x02\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A file Load accepts must also be internally consistent enough to
+		// re-save.
+		if err := tr.Save(&bytes.Buffer{}); err != nil {
+			t.Fatalf("loaded trace failed to re-save: %v", err)
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mach/internal/codec"
+	"mach/internal/sim"
+)
+
+// putUvarint appends a uvarint to the buffer (test-side mirror of the writer).
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+// craft builds the file prefix magic|version|len(header)|header for an
+// arbitrary wire header, then appends extra frame bytes.
+func craft(t *testing.T, v uint64, hdr wireHeader, frameBytes []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	putUvarint(&buf, v)
+	raw, err := json.Marshal(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putUvarint(&buf, uint64(len(raw)))
+	buf.Write(raw)
+	buf.Write(frameBytes)
+	return buf.Bytes()
+}
+
+func validHeader(t *testing.T, frames int) wireHeader {
+	t.Helper()
+	tr := buildTestTrace(t, "V1", 1)
+	return wireHeader{Profile: "V1", FPS: 60, Params: tr.Params, Frames: frames}
+}
+
+func loadErr(t *testing.T, raw []byte, want string) {
+	t.Helper()
+	_, err := Load(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatalf("corrupt input accepted (want error containing %q)", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+}
+
+func TestLoadCapsHeaderLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	putUvarint(&buf, version)
+	putUvarint(&buf, maxHeaderBytes+1) // declared length, no payload needed
+	loadErr(t, buf.Bytes(), "header length")
+}
+
+func TestLoadCapsFrameCount(t *testing.T) {
+	hdr := validHeader(t, maxFrames+1)
+	loadErr(t, craft(t, version, hdr, nil), "frame count")
+	hdr.Frames = -1
+	loadErr(t, craft(t, version, hdr, nil), "frame count")
+}
+
+func TestLoadRejectsBadFPS(t *testing.T) {
+	hdr := validHeader(t, 0)
+	hdr.FPS = 0
+	loadErr(t, craft(t, version, hdr, nil), "fps")
+	hdr.FPS = 100000
+	loadErr(t, craft(t, version, hdr, nil), "fps")
+}
+
+func TestLoadRejectsBadVersion(t *testing.T) {
+	hdr := validHeader(t, 0)
+	loadErr(t, craft(t, 0, hdr, nil), "version")
+	loadErr(t, craft(t, version+1, hdr, nil), "version")
+}
+
+func TestLoadVersion1StillReads(t *testing.T) {
+	// A zero-frame v1 file is fully decodable; arrivals default to resident.
+	tr, err := Load(bytes.NewReader(craft(t, 1, validHeader(t, 0), nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumFrames() != 0 || tr.HasArrivals() {
+		t.Fatalf("v1 load: %d frames, arrivals=%v", tr.NumFrames(), tr.HasArrivals())
+	}
+}
+
+func TestLoadCapsGeometry(t *testing.T) {
+	// codec.Params.Validate has no upper bound (the encoder doesn't need
+	// one), but the loader must refuse headers whose declared geometry
+	// would size huge per-frame allocations.
+	hdr := validHeader(t, 0)
+	hdr.Params.Width = 2 * maxDimension
+	loadErr(t, craft(t, version, hdr, nil), "dimensions")
+
+	hdr = validHeader(t, 6)
+	hdr.Params.Width = maxDimension
+	hdr.Params.Height = maxDimension // 6 frames x 8192^2 x 3 B > 1 GiB
+	loadErr(t, craft(t, version, hdr, nil), "decoded payload")
+}
+
+func TestLoadRejectsBadFrameFields(t *testing.T) {
+	hdr := validHeader(t, 1)
+	frame := func(vals ...uint64) []byte {
+		var buf bytes.Buffer
+		for _, v := range vals {
+			putUvarint(&buf, v)
+		}
+		return buf.Bytes()
+	}
+	loadErr(t, craft(t, version, hdr, frame(uint64(codec.FrameB)+1)), "frame type")
+	loadErr(t, craft(t, version, hdr, frame(0, 1)), "display index")
+	loadErr(t, craft(t, version, hdr, frame(0, 0, maxEncodedBytes+1)), "encoded size")
+	loadErr(t, craft(t, version, hdr, frame(0, 0, 0, uint64(maxArrival)+1)), "arrival")
+	loadErr(t, craft(t, version, hdr, frame(0, 0, 0, 0, uint64(maxTotalBits)+1)), "total bits")
+	// Mab count beyond the declared geometry.
+	mabs := uint64(hdr.Params.MabsPerFrame())
+	loadErr(t, craft(t, version, hdr, frame(0, 0, 0, 0, 0, mabs+1)), "mab count")
+}
+
+func TestLoadTruncationsNeverPanic(t *testing.T) {
+	tr := buildTestTrace(t, "V1", 2)
+	if err := tr.SetArrivals([]sim.Time{sim.FromMilliseconds(10), sim.FromMilliseconds(20)}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for n := 0; n < len(raw); n += 7 {
+		if _, err := Load(bytes.NewReader(raw[:n])); err == nil {
+			t.Fatalf("truncation at %d of %d bytes accepted", n, len(raw))
+		}
+	}
+}
+
+func TestArrivalRoundTrip(t *testing.T) {
+	tr := buildTestTrace(t, "V1", 3)
+	if tr.HasArrivals() {
+		t.Fatal("fresh trace claims arrivals")
+	}
+	arr := []sim.Time{0, sim.FromMilliseconds(5), sim.FromMilliseconds(9)}
+	if err := tr.SetArrivals(arr); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.HasArrivals() {
+		t.Fatal("arrivals not set")
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Frames {
+		if got.Frames[i].Arrival != tr.Frames[i].Arrival {
+			t.Fatalf("frame %d arrival %v != %v", i, got.Frames[i].Arrival, tr.Frames[i].Arrival)
+		}
+	}
+	if err := tr.SetArrivals([]sim.Time{1}); err == nil {
+		t.Fatal("length-mismatched arrivals accepted")
+	}
+	if err := tr.SetArrivals([]sim.Time{-1, 0, 0}); err == nil {
+		t.Fatal("negative arrival accepted")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"mach/internal/codec"
+	"mach/internal/sim"
 )
 
 // Binary trace format: a compact varint-based encoding so traces can be
@@ -17,10 +18,37 @@ import (
 //
 // Pixels are stored with a trivial byte-wise RLE, which compresses the
 // synthetic workloads' flat regions well while staying dependency-free.
+//
+// Version 2 adds a per-frame arrival-time uvarint (picoseconds) after the
+// encoded size — the delivery metadata Frame.Arrival carries. Version 1
+// files still load, with every arrival zero (resident before playback).
+//
+// Trace files are untrusted input (they cross machines and fuzzers): every
+// length that sizes an allocation is capped, and every decoded field is
+// range-checked before use, so a corrupt or adversarial file yields an
+// error — never a panic or a multi-gigabyte allocation.
 
 const (
-	magic   = "MTRC"
-	version = 1
+	magic      = "MTRC"
+	version    = 2
+	minVersion = 1
+
+	// Hard caps on untrusted lengths. The JSON header is a few hundred
+	// bytes in practice; a million frames is almost five hours at 60 fps.
+	maxHeaderBytes  = 1 << 16
+	maxFrames       = 1 << 20
+	maxEncodedBytes = 1 << 30
+	maxTotalBits    = int64(1) << 50
+	maxArrival      = int64(1) << 60 // ~13 days of virtual time
+
+	// Geometry caps: codec.Params.Validate accepts any positive multiple of
+	// the mab size (the encoder has no reason to bound it), but a trace
+	// header is attacker-controlled and its dimensions size every per-frame
+	// pixel and mab-work allocation. 8192 px per axis covers 8K UHD, and
+	// one GiB of total decoded payload is far beyond any real trace while
+	// keeping the worst-case allocation a corrupt file can demand bounded.
+	maxDimension    = 1 << 13
+	maxDecodedBytes = int64(1) << 30
 )
 
 type wireHeader struct {
@@ -67,12 +95,15 @@ func Load(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	if v != version {
+	if v < minVersion || v > version {
 		return nil, fmt.Errorf("trace: unsupported version %d", v)
 	}
 	hlen, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
+	}
+	if hlen > maxHeaderBytes {
+		return nil, fmt.Errorf("trace: header length %d exceeds %d", hlen, maxHeaderBytes)
 	}
 	hraw := make([]byte, hlen)
 	if _, err := io.ReadFull(br, hraw); err != nil {
@@ -85,9 +116,27 @@ func Load(r io.Reader) (*Trace, error) {
 	if err := hdr.Params.Validate(); err != nil {
 		return nil, err
 	}
+	if hdr.Frames < 0 || hdr.Frames > maxFrames {
+		return nil, fmt.Errorf("trace: frame count %d outside [0,%d]", hdr.Frames, maxFrames)
+	}
+	if hdr.FPS < 1 || hdr.FPS > 1000 {
+		return nil, fmt.Errorf("trace: fps %d outside [1,1000]", hdr.FPS)
+	}
+	if hdr.Params.Width > maxDimension || hdr.Params.Height > maxDimension {
+		return nil, fmt.Errorf("trace: dimensions %dx%d exceed %d",
+			hdr.Params.Width, hdr.Params.Height, maxDimension)
+	}
+	frameBytes := int64(hdr.Params.Width) * int64(hdr.Params.Height) * int64(codec.BytesPerPixel)
+	if int64(hdr.Frames)*frameBytes > maxDecodedBytes {
+		return nil, fmt.Errorf("trace: decoded payload %d bytes exceeds %d",
+			int64(hdr.Frames)*frameBytes, maxDecodedBytes)
+	}
+	// Frames are materialized one at a time — the slice is sized by the
+	// (capped) declared count, but each element's payload allocations are
+	// bounded by the already-validated Params geometry.
 	t := &Trace{Profile: hdr.Profile, FPS: hdr.FPS, Params: hdr.Params, Frames: make([]Frame, hdr.Frames)}
 	for i := 0; i < hdr.Frames; i++ {
-		if err := readFrame(br, hdr.Params, &t.Frames[i]); err != nil {
+		if err := readFrame(br, int(v), hdr, &t.Frames[i]); err != nil {
 			return nil, fmt.Errorf("trace: frame %d: %w", i, err)
 		}
 	}
@@ -112,6 +161,7 @@ func writeFrame(w *bufio.Writer, f *Frame) error {
 	writeUvarint(w, uint64(f.Type))
 	writeUvarint(w, uint64(f.DisplayIndex))
 	writeUvarint(w, uint64(f.EncodedBytes))
+	writeUvarint(w, uint64(f.Arrival)) // v2: delivery arrival metadata
 	// Work records. TotalBits is stored explicitly: it includes frame
 	// header bits beyond the per-mab sum.
 	writeUvarint(w, uint64(f.Work.TotalBits))
@@ -145,7 +195,8 @@ func writeFrame(w *bufio.Writer, f *Frame) error {
 	return w.WriteByte(0xA5) // frame sentinel
 }
 
-func readFrame(r *bufio.Reader, p codec.Params, f *Frame) error {
+func readFrame(r *bufio.Reader, v int, hdr wireHeader, f *Frame) error {
+	p := hdr.Params
 	readU := func() (uint64, error) { return binary.ReadUvarint(r) }
 	readS := func() (int64, error) { return binary.ReadVarint(r) }
 
@@ -153,21 +204,45 @@ func readFrame(r *bufio.Reader, p codec.Params, f *Frame) error {
 	if err != nil {
 		return err
 	}
+	if ft > uint64(codec.FrameB) {
+		return fmt.Errorf("frame type %d", ft)
+	}
 	di, err := readU()
 	if err != nil {
 		return err
+	}
+	// Display order is a permutation of decode order: the index must fall
+	// inside the declared frame count.
+	if di >= uint64(hdr.Frames) {
+		return fmt.Errorf("display index %d outside [0,%d)", di, hdr.Frames)
 	}
 	eb, err := readU()
 	if err != nil {
 		return err
 	}
+	if eb > maxEncodedBytes {
+		return fmt.Errorf("encoded size %d exceeds %d", eb, maxEncodedBytes)
+	}
 	f.Type = codec.FrameType(ft)
 	f.DisplayIndex = int(di)
 	f.EncodedBytes = int(eb)
+	if v >= 2 {
+		arr, err := readU()
+		if err != nil {
+			return err
+		}
+		if arr > uint64(maxArrival) {
+			return fmt.Errorf("arrival %d exceeds %d", arr, maxArrival)
+		}
+		f.Arrival = sim.Time(arr)
+	}
 
 	totalBits, err := readU()
 	if err != nil {
 		return err
+	}
+	if totalBits > uint64(maxTotalBits) {
+		return fmt.Errorf("total bits %d exceeds %d", totalBits, maxTotalBits)
 	}
 	nm, err := readU()
 	if err != nil {

@@ -9,7 +9,7 @@ import (
 	"mach/internal/video"
 )
 
-func buildTestTrace(t *testing.T, key string, frames int) *Trace {
+func buildTestTrace(t testing.TB, key string, frames int) *Trace {
 	t.Helper()
 	prof, err := video.ProfileByKey(key)
 	if err != nil {

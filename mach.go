@@ -25,6 +25,7 @@ package mach
 
 import (
 	"mach/internal/core"
+	"mach/internal/delivery"
 	"mach/internal/trace"
 	"mach/internal/video"
 )
@@ -49,6 +50,12 @@ type (
 	Profile = video.Profile
 	// Trace is a decoded workload ready for replay.
 	Trace = trace.Trace
+	// DeliveryConfig is the network-delivery fault model (Config.Delivery):
+	// bandwidth, latency jitter, loss/stall/outage injection, segment
+	// retry policy, streaming-buffer depth, and the modem power model.
+	DeliveryConfig = delivery.Config
+	// DeliveryStats aggregates a run's delivery behaviour (Result.Net).
+	DeliveryStats = delivery.Stats
 )
 
 // MACH modes.
@@ -77,6 +84,16 @@ var (
 	BuildTrace = core.BuildTrace
 	// Synthesize generates and encodes a workload stream.
 	Synthesize = video.Synthesize
+
+	// Network profiles for Config.Delivery (all Enabled; DefaultDelivery
+	// is the same LTE link but disabled, the perfect-network default).
+	DefaultDelivery = delivery.DefaultConfig
+	DeliveryLTE     = delivery.LTE
+	DeliveryWiFi    = delivery.WiFi
+	Delivery3G      = delivery.ThreeG
+	DeliveryFlaky   = delivery.Flaky
+	DeliveryByName  = delivery.ProfileByName
+	PlanDelivery    = delivery.Plan
 
 	// Run replays a trace under a scheme.
 	Run = core.Run
