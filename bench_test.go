@@ -10,9 +10,11 @@ package mach_test
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"mach"
+	"mach/internal/bench"
 	"mach/internal/codec"
 	"mach/internal/dram"
 	"mach/internal/experiments"
@@ -23,6 +25,32 @@ import (
 	"mach/internal/stats"
 	"mach/internal/video"
 )
+
+// emitRecord merges this benchmark's result into the report file named by
+// MACH_BENCH_JSON (no-op when unset). CI sets it so the `go test -bench`
+// wrappers land in the same BENCH_machsim.json the machbench harness
+// writes, under a gotest/ prefix. Benchmarks are re-invoked with growing
+// b.N; every invocation overwrites the same record, so the final (longest)
+// measurement wins.
+func emitRecord(b *testing.B) {
+	b.Helper()
+	path := os.Getenv("MACH_BENCH_JSON")
+	if path == "" || b.N == 0 || b.Elapsed() == 0 {
+		return
+	}
+	nsPerOp := b.Elapsed().Nanoseconds() / int64(b.N)
+	if nsPerOp < 1 {
+		nsPerOp = 1
+	}
+	err := bench.AppendRecord(path, bench.Record{
+		Name:       "gotest/" + b.Name(),
+		Iterations: int64(b.N),
+		NsPerOp:    nsPerOp,
+	})
+	if err != nil {
+		b.Fatalf("emitRecord: %v", err)
+	}
+}
 
 // benchConfig is the experiment scale used by the figure benchmarks: the
 // calibrated reference resolution with a bounded frame count per workload.
@@ -38,6 +66,7 @@ func benchConfig(videos int, frames int) experiments.Config {
 // runFigure runs one experiment per iteration and logs its table once.
 func runFigure(b *testing.B, cfg experiments.Config, f func(r *experiments.Runner) (*stats.Table, error)) {
 	b.Helper()
+	defer emitRecord(b)
 	r := experiments.NewRunner(cfg)
 	for i := 0; i < b.N; i++ {
 		tb, err := f(r)
@@ -133,6 +162,7 @@ func BenchmarkDCCCombination(b *testing.B) {
 // BenchmarkAdaptiveBatching covers §3.3's adaptivity claim: batching
 // whatever the bursty network delivered still saves energy.
 func BenchmarkAdaptiveBatching(b *testing.B) {
+	defer emitRecord(b)
 	sc := mach.DefaultStreamConfig()
 	sc.NumFrames = 48
 	tr, err := mach.BuildTrace("V11", sc)
@@ -170,6 +200,7 @@ func BenchmarkAdaptiveBatching(b *testing.B) {
 // BenchmarkAblationCoalescing measures the §4.4 coalescing write buffers:
 // without them every pointer/base write costs a full line transaction.
 func BenchmarkAblationCoalescing(b *testing.B) {
+	defer emitRecord(b)
 	sc := mach.DefaultStreamConfig()
 	sc.NumFrames = 48
 	tr, err := mach.BuildTrace("V1", sc)
@@ -202,6 +233,7 @@ func BenchmarkAblationCoalescing(b *testing.B) {
 // BenchmarkAblationRowTimeout sweeps the DRAM row-open timeout, the
 // mechanism behind the racing benefit (Fig 5a).
 func BenchmarkAblationRowTimeout(b *testing.B) {
+	defer emitRecord(b)
 	sc := mach.DefaultStreamConfig()
 	sc.NumFrames = 48
 	tr, err := mach.BuildTrace("V1", sc)
@@ -280,6 +312,7 @@ func benchFrame(b *testing.B) *codec.Frame {
 }
 
 func BenchmarkCodecEncodeFrame(b *testing.B) {
+	defer emitRecord(b)
 	fr := benchFrame(b)
 	p := codec.DefaultParams(320, 180)
 	b.SetBytes(int64(fr.SizeBytes()))
@@ -296,6 +329,7 @@ func BenchmarkCodecEncodeFrame(b *testing.B) {
 }
 
 func BenchmarkCodecDecodeFrame(b *testing.B) {
+	defer emitRecord(b)
 	fr := benchFrame(b)
 	p := codec.DefaultParams(320, 180)
 	enc, _ := codec.NewEncoder(p)
@@ -314,6 +348,7 @@ func BenchmarkCodecDecodeFrame(b *testing.B) {
 }
 
 func BenchmarkCRC32Digest(b *testing.B) {
+	defer emitRecord(b)
 	blk := make([]byte, 48)
 	for i := range blk {
 		blk[i] = byte(i * 7)
@@ -325,6 +360,7 @@ func BenchmarkCRC32Digest(b *testing.B) {
 }
 
 func BenchmarkCRC16Digest(b *testing.B) {
+	defer emitRecord(b)
 	blk := make([]byte, 48)
 	b.SetBytes(48)
 	for i := 0; i < b.N; i++ {
@@ -333,6 +369,7 @@ func BenchmarkCRC16Digest(b *testing.B) {
 }
 
 func BenchmarkGabTransform(b *testing.B) {
+	defer emitRecord(b)
 	mab := make([]byte, 48)
 	gab := make([]byte, 48)
 	var base [3]byte
@@ -343,6 +380,7 @@ func BenchmarkGabTransform(b *testing.B) {
 }
 
 func BenchmarkMachWritebackFrame(b *testing.B) {
+	defer emitRecord(b)
 	fr := benchFrame(b)
 	b.SetBytes(int64(fr.SizeBytes()))
 	b.ResetTimer()
@@ -356,6 +394,7 @@ func BenchmarkMachWritebackFrame(b *testing.B) {
 }
 
 func BenchmarkDRAMSequentialAccess(b *testing.B) {
+	defer emitRecord(b)
 	m := dram.New(dram.DefaultConfig())
 	now := sim.Time(0)
 	b.SetBytes(64)
@@ -368,6 +407,7 @@ func BenchmarkDRAMSequentialAccess(b *testing.B) {
 }
 
 func BenchmarkPipelineFrameGAB(b *testing.B) {
+	defer emitRecord(b)
 	sc := mach.DefaultStreamConfig()
 	sc.NumFrames = 48
 	tr, err := mach.BuildTrace("V1", sc)

@@ -1,0 +1,167 @@
+// Command covercheck enforces per-package statement-coverage floors on a
+// `go test -coverprofile` file, so CI fails when a change lands untested
+// code in the accounting-critical packages:
+//
+//	go test -coverprofile=cover.out ./internal/core ./internal/mach ./internal/delivery
+//	covercheck -profile cover.out \
+//	    -min mach/internal/core=90 \
+//	    -min mach/internal/mach=90 \
+//	    -min mach/internal/delivery=95
+//
+// Packages in the profile without a -min floor are reported but not
+// enforced. Exit codes: 0 all floors met, 1 a floor missed or a named
+// package absent from the profile, 2 invalid usage.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pkgCoverage accumulates statement counts for one package.
+type pkgCoverage struct {
+	stmts   int64
+	covered int64
+}
+
+func (c pkgCoverage) percent() float64 {
+	if c.stmts == 0 {
+		return 0
+	}
+	return 100 * float64(c.covered) / float64(c.stmts)
+}
+
+// parseProfile reads a coverprofile and returns statement coverage per
+// import path (the profile names files as importpath/file.go).
+func parseProfile(path_ string) (map[string]pkgCoverage, error) {
+	f, err := os.Open(path_)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	pkgs := make(map[string]pkgCoverage)
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if lineNo == 1 && strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		if line == "" {
+			continue
+		}
+		// importpath/file.go:sl.sc,el.ec numStmts count
+		file, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: no file separator in %q", path_, lineNo, line)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want `range stmts count`, got %q", path_, lineNo, rest)
+		}
+		stmts, err1 := strconv.ParseInt(fields[1], 10, 64)
+		count, err2 := strconv.ParseInt(fields[2], 10, 64)
+		if err1 != nil || err2 != nil || stmts < 0 || count < 0 {
+			return nil, fmt.Errorf("%s:%d: bad statement/count in %q", path_, lineNo, rest)
+		}
+		pkg := path.Dir(file)
+		c := pkgs[pkg]
+		c.stmts += stmts
+		if count > 0 {
+			c.covered += stmts
+		}
+		pkgs[pkg] = c
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pkgs, nil
+}
+
+// floors is the repeated -min pkg=pct flag.
+type floors map[string]float64
+
+func (f floors) String() string {
+	parts := make([]string, 0, len(f))
+	for k, v := range f {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (f floors) Set(s string) error {
+	pkg, pct, ok := strings.Cut(s, "=")
+	if !ok || pkg == "" {
+		return fmt.Errorf("want pkg=percent, got %q", s)
+	}
+	v, err := strconv.ParseFloat(pct, 64)
+	if err != nil || v < 0 || v > 100 {
+		return fmt.Errorf("floor %q not a percentage in [0,100]", pct)
+	}
+	f[pkg] = v
+	return nil
+}
+
+// check compares the profile against the floors and returns one line per
+// package plus the list of failures.
+func check(pkgs map[string]pkgCoverage, mins floors) (report []string, failures []string) {
+	names := make([]string, 0, len(pkgs))
+	for pkg := range pkgs {
+		names = append(names, pkg)
+	}
+	sort.Strings(names)
+	for _, pkg := range names {
+		pct := pkgs[pkg].percent()
+		if min, ok := mins[pkg]; ok {
+			verdict := "ok"
+			if pct < min {
+				verdict = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s: %.1f%% below the %.1f%% floor", pkg, pct, min))
+			}
+			report = append(report, fmt.Sprintf("%-28s %6.1f%%  (floor %.1f%%, %s)", pkg, pct, min, verdict))
+		} else {
+			report = append(report, fmt.Sprintf("%-28s %6.1f%%  (no floor)", pkg, pct))
+		}
+	}
+	for pkg := range mins {
+		if _, ok := pkgs[pkg]; !ok {
+			failures = append(failures, fmt.Sprintf("%s: floor set but package absent from profile", pkg))
+		}
+	}
+	sort.Strings(failures)
+	return report, failures
+}
+
+func main() {
+	profile := flag.String("profile", "cover.out", "coverprofile to check")
+	mins := floors{}
+	flag.Var(mins, "min", "per-package floor as importpath=percent (repeatable)")
+	flag.Parse()
+	if len(mins) == 0 {
+		fmt.Fprintln(os.Stderr, "covercheck: no -min floors given")
+		os.Exit(2)
+	}
+	pkgs, err := parseProfile(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(2)
+	}
+	report, failures := check(pkgs, mins)
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "covercheck:", f)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+}

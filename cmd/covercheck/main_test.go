@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleProfile = `mode: set
+mach/internal/core/run.go:10.2,12.3 3 1
+mach/internal/core/run.go:14.2,16.3 2 0
+mach/internal/mach/writeback.go:5.1,9.2 4 7
+`
+
+func writeProfile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cover.out")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseProfile(t *testing.T) {
+	pkgs, err := parseProfile(writeProfile(t, sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := pkgs["mach/internal/core"]
+	if core.stmts != 5 || core.covered != 3 {
+		t.Fatalf("core: got %d/%d, want 3/5", core.covered, core.stmts)
+	}
+	if got := core.percent(); got != 60 {
+		t.Fatalf("core percent %g, want 60", got)
+	}
+	mc := pkgs["mach/internal/mach"]
+	if mc.percent() != 100 {
+		t.Fatalf("mach percent %g, want 100", mc.percent())
+	}
+}
+
+func TestParseProfileRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"mode: set\nno-colon-here 3 1\n",
+		"mode: set\nf.go:1.1,2.2 three 1\n",
+		"mode: set\nf.go:1.1,2.2 3\n",
+	} {
+		if _, err := parseProfile(writeProfile(t, bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestCheckFloors(t *testing.T) {
+	pkgs, err := parseProfile(writeProfile(t, sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, failures := check(pkgs, floors{"mach/internal/core": 50, "mach/internal/mach": 90})
+	if len(failures) != 0 {
+		t.Fatalf("floors met but failed: %v", failures)
+	}
+	_, failures = check(pkgs, floors{"mach/internal/core": 61})
+	if len(failures) != 1 || !strings.Contains(failures[0], "below the") {
+		t.Fatalf("60%% did not fail a 61%% floor: %v", failures)
+	}
+	_, failures = check(pkgs, floors{"mach/internal/ghost": 10})
+	if len(failures) != 1 || !strings.Contains(failures[0], "absent") {
+		t.Fatalf("missing package not reported: %v", failures)
+	}
+}
+
+func TestFloorsFlagParsing(t *testing.T) {
+	f := floors{}
+	if err := f.Set("a/b=92.5"); err != nil {
+		t.Fatal(err)
+	}
+	if f["a/b"] != 92.5 {
+		t.Fatalf("got %v", f)
+	}
+	for _, bad := range []string{"nopct", "=50", "p=abc", "p=101", "p=-1"} {
+		if err := f.Set(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package bench defines the benchmark regression report the repository
+// commits as BENCH_machsim.json and the harness that regenerates it. A
+// report is a flat list of records — one per timed cell — with a fixed
+// schema (name, iterations, ns_per_op, mabs_per_sec, speedup_vs_seq) so CI
+// can validate it without knowing which harness produced which row:
+//
+//   - engine/seq/<V>    sequential core.Run over workload <V>
+//   - engine/par<N>/<V> the same run with the N-wide deterministic engine
+//     (speedup_vs_seq is the measured wall ratio)
+//   - sweep/seq         the 16-profile sweep run back to back
+//   - sweep/par<N>      the same sweep scheduled onto N workers; its
+//     speedup_vs_seq is the work-conserving scheduled speedup
+//     sum(costs)/Makespan(costs, N) computed from the measured
+//     per-profile costs (see EXPERIMENTS.md for why wall-clock sweep
+//     speedup is not reported on single-core CI runners)
+//   - gotest/Benchmark* rows merged in from `go test -bench` wrappers
+//
+// Records are kept sorted by name and files are rewritten atomically, so
+// several emitters (the harness, then the go-test wrappers) can merge into
+// one report.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Record is one benchmark result row. The JSON field names are the schema
+// CI validates; do not rename them without updating cmd/machbench -check
+// and EXPERIMENTS.md.
+type Record struct {
+	Name         string  `json:"name"`
+	Iterations   int64   `json:"iterations"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	MabsPerSec   float64 `json:"mabs_per_sec"`
+	SpeedupVsSeq float64 `json:"speedup_vs_seq"`
+}
+
+// Validate checks one record against the schema: a non-empty name, at
+// least one iteration, positive time, and non-negative rates. A zero
+// MabsPerSec or SpeedupVsSeq means "not applicable to this row" (micro
+// benchmarks have no mab throughput; sequential rows have no speedup).
+func (r Record) Validate() error {
+	switch {
+	case r.Name == "":
+		return fmt.Errorf("bench: record with empty name")
+	case r.Iterations < 1:
+		return fmt.Errorf("bench: %s: iterations %d < 1", r.Name, r.Iterations)
+	case r.NsPerOp <= 0:
+		return fmt.Errorf("bench: %s: ns_per_op %d <= 0", r.Name, r.NsPerOp)
+	case r.MabsPerSec < 0:
+		return fmt.Errorf("bench: %s: mabs_per_sec %g < 0", r.Name, r.MabsPerSec)
+	case r.SpeedupVsSeq < 0:
+		return fmt.Errorf("bench: %s: speedup_vs_seq %g < 0", r.Name, r.SpeedupVsSeq)
+	}
+	return nil
+}
+
+// Report is the committed benchmark file: a sorted list of records.
+type Report struct {
+	Records []Record `json:"records"`
+}
+
+// Add inserts rec, replacing any existing record with the same name, and
+// keeps the list sorted so the committed file diffs cleanly.
+func (p *Report) Add(rec Record) {
+	for i := range p.Records {
+		if p.Records[i].Name == rec.Name {
+			p.Records[i] = rec
+			return
+		}
+	}
+	p.Records = append(p.Records, rec)
+	sort.Slice(p.Records, func(i, j int) bool { return p.Records[i].Name < p.Records[j].Name })
+}
+
+// Find returns the record with the given name.
+func (p *Report) Find(name string) (Record, bool) {
+	for _, r := range p.Records {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Record{}, false
+}
+
+// Validate checks every record and rejects duplicate names.
+func (p *Report) Validate() error {
+	seen := make(map[string]bool, len(p.Records))
+	for _, r := range p.Records {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("bench: duplicate record %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	return nil
+}
+
+// Check validates the report and then enforces the regression gate: every
+// record whose name matches prefix must report speedup_vs_seq >= min.
+// With an empty prefix only the schema is checked.
+func (p *Report) Check(prefix string, min float64) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if prefix == "" {
+		return nil
+	}
+	matched := 0
+	for _, r := range p.Records {
+		if !strings.HasPrefix(r.Name, prefix) {
+			continue
+		}
+		matched++
+		if r.SpeedupVsSeq < min {
+			return fmt.Errorf("bench: %s: speedup_vs_seq %.3f below the %.2f gate", r.Name, r.SpeedupVsSeq, min)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("bench: no record matches gate prefix %q", prefix)
+	}
+	return nil
+}
+
+// ReadFile loads a report.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p Report
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &p, nil
+}
+
+// WriteFile stores the report atomically (temp file + rename) with stable
+// formatting, so concurrent readers never observe a torn file and the
+// committed artifact is byte-reproducible for identical records.
+func WriteFile(path string, p *Report) error {
+	sort.Slice(p.Records, func(i, j int) bool { return p.Records[i].Name < p.Records[j].Name })
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bench-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// AppendRecord merges one record into the report at path, creating the
+// file if needed. This is how the go-test benchmark wrappers feed their
+// rows into the same file the harness writes.
+func AppendRecord(path string, rec Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	p, err := ReadFile(path)
+	if os.IsNotExist(err) {
+		p = &Report{}
+	} else if err != nil {
+		return err
+	}
+	p.Add(rec)
+	return WriteFile(path, p)
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mach/internal/video"
+)
+
+func validRecord(name string) Record {
+	return Record{Name: name, Iterations: 2, NsPerOp: 1000, MabsPerSec: 1e6, SpeedupVsSeq: 1}
+}
+
+func TestRecordValidate(t *testing.T) {
+	if err := validRecord("a").Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Record{
+		{},
+		{Name: "x", Iterations: 0, NsPerOp: 1},
+		{Name: "x", Iterations: 1, NsPerOp: 0},
+		{Name: "x", Iterations: 1, NsPerOp: 1, MabsPerSec: -1},
+		{Name: "x", Iterations: 1, NsPerOp: 1, SpeedupVsSeq: -0.1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad record %d validated", i)
+		}
+	}
+}
+
+func TestReportAddReplacesAndSorts(t *testing.T) {
+	var p Report
+	p.Add(validRecord("b"))
+	p.Add(validRecord("a"))
+	rec := validRecord("b")
+	rec.NsPerOp = 42
+	p.Add(rec)
+	if len(p.Records) != 2 {
+		t.Fatalf("got %d records, want 2", len(p.Records))
+	}
+	if p.Records[0].Name != "a" || p.Records[1].Name != "b" {
+		t.Fatalf("not sorted: %v", p.Records)
+	}
+	if got, _ := p.Find("b"); got.NsPerOp != 42 {
+		t.Fatalf("Add did not replace: %+v", got)
+	}
+}
+
+func TestReportCheck(t *testing.T) {
+	var p Report
+	p.Add(validRecord("engine/seq/V1"))
+	fast := validRecord("sweep/par4")
+	fast.SpeedupVsSeq = 3.7
+	p.Add(fast)
+	if err := p.Check("sweep/par", 1.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Check("sweep/par", 3.8); err == nil {
+		t.Fatal("below-gate speedup passed")
+	}
+	if err := p.Check("nosuch/", 1); err == nil {
+		t.Fatal("unmatched prefix passed")
+	}
+	dup := Report{Records: []Record{validRecord("a"), validRecord("a")}}
+	if err := dup.Check("", 0); err == nil {
+		t.Fatal("duplicate names passed")
+	}
+}
+
+func TestFileRoundTripAndAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := AppendRecord(path, validRecord("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendRecord(path, validRecord("two")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Report{}
+	want.Add(validRecord("one"))
+	want.Add(validRecord("two"))
+	if !reflect.DeepEqual(p.Records, want.Records) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", p.Records, want.Records)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"name"`, `"iterations"`, `"ns_per_op"`, `"mabs_per_sec"`, `"speedup_vs_seq"`} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("schema field %s missing from file:\n%s", field, data)
+		}
+	}
+	if err := AppendRecord(path, Record{Name: "bad"}); err == nil {
+		t.Fatal("invalid record appended")
+	}
+}
+
+// TestHarnessTinyRun exercises the full harness at a smoke scale and checks
+// the report shape: one seq + one par row per workload, the two sweep rows,
+// a valid schema throughout, and a sweep scheduled speedup in (1, workers].
+func TestHarnessTinyRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("times full pipeline runs")
+	}
+	sc := video.DefaultStreamConfig()
+	sc.Width, sc.Height, sc.NumFrames = 160, 96, 8
+	rep, err := Run(Options{
+		Videos:     []string{"V1", "V4", "V8"},
+		Stream:     sc,
+		Workers:    4,
+		Iterations: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(rep.Records), 2*3+2; got != want {
+		t.Fatalf("got %d records, want %d: %+v", got, want, rep.Records)
+	}
+	for _, key := range []string{"V1", "V4", "V8"} {
+		if _, ok := rep.Find("engine/seq/" + key); !ok {
+			t.Errorf("missing engine/seq/%s", key)
+		}
+		if _, ok := rep.Find("engine/par4/" + key); !ok {
+			t.Errorf("missing engine/par4/%s", key)
+		}
+	}
+	seq, ok := rep.Find("sweep/seq")
+	if !ok || seq.MabsPerSec <= 0 {
+		t.Fatalf("sweep/seq missing or rate-less: %+v", seq)
+	}
+	par4, ok := rep.Find("sweep/par4")
+	if !ok {
+		t.Fatal("missing sweep/par4")
+	}
+	// Three independent jobs on four workers schedule as max(cost), so the
+	// speedup must exceed 1 and cannot exceed the worker count.
+	if par4.SpeedupVsSeq <= 1 || par4.SpeedupVsSeq > 4 {
+		t.Fatalf("sweep/par4 speedup %.3f outside (1,4]", par4.SpeedupVsSeq)
+	}
+	if par4.NsPerOp >= seq.NsPerOp {
+		t.Fatalf("scheduled makespan %d not below sequential total %d", par4.NsPerOp, seq.NsPerOp)
+	}
+}

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"mach/internal/core"
+	"mach/internal/par"
+	"mach/internal/trace"
+	"mach/internal/video"
+)
+
+// Options scales a harness run. Zero values select the committed-report
+// scale: every workload, 48 frames at the calibrated 320x180 resolution,
+// a 4-wide parallel engine, best-of-2 timing.
+type Options struct {
+	// Videos are the workload keys to time (default: all 16).
+	Videos []string
+	// Stream is the synthesis scale (default: DefaultStreamConfig with 48
+	// frames).
+	Stream video.StreamConfig
+	// Platform is the simulated platform; Platform.Parallel is ignored
+	// (the harness sets it per cell).
+	Platform core.Config
+	// Workers is the parallel-engine width under test (default 4).
+	Workers int
+	// Iterations is how many times each cell is timed; the fastest
+	// iteration is reported, the standard way to reject scheduler noise
+	// (default 2).
+	Iterations int
+	// Scheme is the scheme each run replays (default GAB, the headline
+	// configuration and the one with the most prehash work per mab).
+	Scheme core.Scheme
+	// Logf, when set, receives one progress line per workload.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if len(o.Videos) == 0 {
+		o.Videos = core.WorkloadKeys()
+	}
+	if o.Stream == (video.StreamConfig{}) {
+		o.Stream = video.DefaultStreamConfig()
+		o.Stream.NumFrames = 48
+	}
+	// A valid platform has IdlePower > S1 > S3 >= 0, so a zero IdlePower
+	// means the caller left Platform unset.
+	if o.Platform.Power.IdlePower == 0 {
+		o.Platform = core.DefaultConfig()
+	}
+	o.Platform.CollectFrameSamples = false
+	if o.Workers <= 1 {
+		o.Workers = 4
+	}
+	if o.Iterations < 1 {
+		o.Iterations = 2
+	}
+	if o.Scheme.Name == "" {
+		o.Scheme = core.GAB(core.DefaultBatch)
+	}
+}
+
+// Run times the sequential and parallel engines over every workload and
+// returns the report. Per-workload rows carry measured wall times; the
+// sweep/par<N> row reports the scheduled speedup sum(costs)/Makespan over
+// the measured sequential costs, the work-conserving bound a N-worker
+// fan-out achieves on N free cores (see EXPERIMENTS.md).
+func Run(opts Options) (*Report, error) {
+	opts.fill()
+	rep := &Report{}
+	costs := make([]int64, 0, len(opts.Videos))
+	var totalMabs int64
+	for _, key := range opts.Videos {
+		tr, err := core.BuildTrace(key, opts.Stream)
+		if err != nil {
+			return nil, err
+		}
+		mabs := int64(len(tr.Frames)) * int64(tr.Params.Width*tr.Params.Height/(tr.Params.MabSize*tr.Params.MabSize))
+		totalMabs += mabs
+
+		seqNs, err := timeRun(tr, opts, 0)
+		if err != nil {
+			return nil, err
+		}
+		parNs, err := timeRun(tr, opts, opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		costs = append(costs, seqNs)
+
+		rep.Add(Record{
+			Name:       fmt.Sprintf("engine/seq/%s", key),
+			Iterations: int64(opts.Iterations),
+			NsPerOp:    seqNs,
+			MabsPerSec: rate(mabs, seqNs),
+		})
+		rep.Add(Record{
+			Name:         fmt.Sprintf("engine/par%d/%s", opts.Workers, key),
+			Iterations:   int64(opts.Iterations),
+			NsPerOp:      parNs,
+			MabsPerSec:   rate(mabs, parNs),
+			SpeedupVsSeq: ratio(seqNs, parNs),
+		})
+		if opts.Logf != nil {
+			opts.Logf("%s: seq %.1fms  par%d %.1fms  (%.0f mabs/ms)",
+				key, float64(seqNs)/1e6, opts.Workers, float64(parNs)/1e6, rate(mabs, seqNs)/1e3)
+		}
+	}
+
+	var seqTotal int64
+	for _, c := range costs {
+		seqTotal += c
+	}
+	rep.Add(Record{
+		Name:       "sweep/seq",
+		Iterations: int64(opts.Iterations),
+		NsPerOp:    seqTotal,
+		MabsPerSec: rate(totalMabs, seqTotal),
+	})
+	// The sweep cells are independent runs, so scheduling the measured
+	// costs onto opts.Workers workers (greedy list scheduling, the same
+	// policy par.Pool's cursor implements) gives the sweep's parallel
+	// makespan without needing idle cores on the machine running the
+	// harness.
+	makespan := par.Makespan(costs, opts.Workers)
+	rep.Add(Record{
+		Name:         fmt.Sprintf("sweep/par%d", opts.Workers),
+		Iterations:   int64(opts.Iterations),
+		NsPerOp:      makespan,
+		MabsPerSec:   rate(totalMabs, makespan),
+		SpeedupVsSeq: ratio(seqTotal, makespan),
+	})
+	return rep, nil
+}
+
+// timeRun replays the trace opts.Iterations times at the given engine
+// width and returns the fastest wall time in nanoseconds (minimum 1ns so
+// records stay schema-valid even on a clock with coarse resolution).
+func timeRun(tr *trace.Trace, opts Options, workers int) (int64, error) {
+	cfg := opts.Platform
+	cfg.Parallel = workers
+	best := int64(0)
+	for i := 0; i < opts.Iterations; i++ {
+		start := time.Now()
+		res, err := core.Run(tr, opts.Scheme, cfg)
+		ns := time.Since(start).Nanoseconds()
+		if err != nil {
+			return 0, err
+		}
+		if res.Frames != len(tr.Frames) {
+			return 0, fmt.Errorf("bench: %s: ran %d of %d frames", tr.Profile, res.Frames, len(tr.Frames))
+		}
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	if best < 1 {
+		best = 1
+	}
+	return best, nil
+}
+
+func rate(mabs, ns int64) float64 {
+	if ns <= 0 {
+		return 0
+	}
+	return float64(mabs) / (float64(ns) / 1e9)
+}
+
+func ratio(num, den int64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mach/internal/cache"
+	"mach/internal/decoder"
+	"mach/internal/delivery"
+	"mach/internal/display"
+	"mach/internal/dram"
+	"mach/internal/mach"
+	"mach/internal/power"
+)
+
+// CanonicalResult is a flat, JSON-stable projection of a Result: every
+// accounting quantity that must stay bit-stable across refactors, and
+// nothing tied to process state (pointers, samples, ledgers). The golden
+// corpus under testdata/golden/ stores these, so any drift in energy
+// accounting, timing, memory traffic or MACH behaviour fails tier-1 with a
+// field-level diff. Times are integer nanoseconds; energies are joules
+// (float64, exact round-trip through encoding/json).
+type CanonicalResult struct {
+	Scheme   string `json:"scheme"`
+	Workload string `json:"workload"`
+	Frames   int    `json:"frames"`
+	Drops    int64  `json:"drops"`
+
+	WallTimeNs  int64 `json:"wall_time_ns"`
+	BusyTimeNs  int64 `json:"busy_time_ns"`
+	IdleTimeNs  int64 `json:"idle_time_ns"`
+	S1TimeNs    int64 `json:"s1_time_ns"`
+	S3TimeNs    int64 `json:"s3_time_ns"`
+	TransTimeNs int64 `json:"trans_time_ns"`
+	Transitions int64 `json:"transitions"`
+
+	PoolHighWater int `json:"pool_high_water"`
+
+	Rebuffers      int64 `json:"rebuffers"`
+	RebufferTimeNs int64 `json:"rebuffer_time_ns"`
+	StartupDelayNs int64 `json:"startup_delay_ns"`
+	BatchShrinks   int64 `json:"batch_shrinks"`
+
+	// EnergyJ maps component name to joules; TotalEnergyJ is their sum as
+	// the Breakdown reports it.
+	EnergyJ      map[string]float64 `json:"energy_j"`
+	TotalEnergyJ float64            `json:"total_energy_j"`
+
+	Mem       dram.Stats       `json:"mem"`
+	MemEnergy dram.Energy      `json:"mem_energy"`
+	Dec       decoder.Stats    `json:"dec"`
+	DecCache  cache.Stats      `json:"dec_cache"`
+	Disp      display.Stats    `json:"disp"`
+	Mach      mach.Stats       `json:"mach"`
+	Net       delivery.Stats   `json:"net"`
+	Radio     power.RadioStats `json:"radio"`
+}
+
+// Canonical returns the stable projection of r.
+func (r *Result) Canonical() *CanonicalResult {
+	c := &CanonicalResult{
+		Scheme:   r.Scheme.Name,
+		Workload: r.Workload,
+		Frames:   r.Frames,
+		Drops:    r.Drops,
+
+		WallTimeNs:  int64(r.WallTime),
+		BusyTimeNs:  int64(r.BusyTime),
+		IdleTimeNs:  int64(r.IdleTime),
+		S1TimeNs:    int64(r.S1Time),
+		S3TimeNs:    int64(r.S3Time),
+		TransTimeNs: int64(r.TransTime),
+		Transitions: r.Transitions,
+
+		PoolHighWater: r.PoolHighWater,
+
+		Rebuffers:      r.Rebuffers,
+		RebufferTimeNs: int64(r.RebufferTime),
+		StartupDelayNs: int64(r.StartupDelay),
+		BatchShrinks:   r.BatchShrinks,
+
+		EnergyJ:      make(map[string]float64, len(r.Energy.Keys())),
+		TotalEnergyJ: r.Energy.Total(),
+
+		Mem:       r.Mem,
+		MemEnergy: r.MemEnergy,
+		Dec:       r.Dec,
+		DecCache:  r.DecCache,
+		Disp:      r.Disp,
+		Mach:      r.Mach,
+		Net:       r.Net,
+		Radio:     r.Radio,
+	}
+	for _, k := range r.Energy.Keys() {
+		c.EnergyJ[k] = r.Energy.Get(k)
+	}
+	return c
+}
+
+// CanonicalJSON returns the indented JSON encoding of the canonical
+// projection, byte-stable for identical results (encoding/json emits map
+// keys sorted and float64s in shortest round-trip form).
+func (r *Result) CanonicalJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r.Canonical(), "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("core: canonical encode: %w", err)
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"mach/internal/video"
+)
+
+// TestParallelMatchesSequential is the acceptance test of the deterministic
+// parallel engine: for a sweep of seeds × workloads × worker counts, a run
+// with Config.Parallel = N must be bit-identical to the sequential run —
+// same canonical JSON, same total-energy float64 bits, same rendered
+// report, deep-equal Result structures. The engine only shards the pure
+// per-mab prehash; everything order-sensitive happens in the serial
+// reduction, and this test is what keeps that contract honest.
+func TestParallelMatchesSequential(t *testing.T) {
+	seeds := []int64{1, 5, 9}
+	profiles := []string{"V1", "V4", "V8", "V13"}
+	workers := []int{2, 3, 8}
+
+	scheme := GAB(4) // the machinery-heavy scheme: gab hashing + display opt
+	for _, seed := range seeds {
+		for _, key := range profiles {
+			sc := video.StreamConfig{Width: 160, Height: 96, NumFrames: 16, Seed: seed, MabSize: 4, Quant: 8}
+			tr, err := BuildTrace(key, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := testConfig()
+			seq := mustRun(t, tr, scheme, cfg)
+			seqJSON, err := seq.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workers {
+				pcfg := cfg
+				pcfg.Parallel = w
+				par := mustRun(t, tr, scheme, pcfg)
+
+				if ab, bb := math.Float64bits(seq.TotalEnergy()), math.Float64bits(par.TotalEnergy()); ab != bb {
+					t.Errorf("seed %d %s workers=%d: total energy bits differ: %x vs %x", seed, key, w, ab, bb)
+				}
+				parJSON, err := par.CanonicalJSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(seqJSON, parJSON) {
+					t.Errorf("seed %d %s workers=%d: canonical JSON diverged:\n%s", seed, key, w, firstDiffLine(seqJSON, parJSON))
+				}
+				if seq.String() != par.String() {
+					t.Errorf("seed %d %s workers=%d: rendered reports differ", seed, key, w)
+				}
+				if !reflect.DeepEqual(seq.Mach, par.Mach) || !reflect.DeepEqual(seq.Mem, par.Mem) {
+					t.Errorf("seed %d %s workers=%d: substrate stats diverged", seed, key, w)
+				}
+				if !reflect.DeepEqual(seq.FrameTimes, par.FrameTimes) {
+					t.Errorf("seed %d %s workers=%d: per-frame time samples diverged", seed, key, w)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelAcrossSchemes runs every standard scheme once at 4 workers —
+// the cheaper cross-scheme guard (raw layout, mab mode, no display opt).
+func TestParallelAcrossSchemes(t *testing.T) {
+	tr := testTrace(t, "V2", 16)
+	cfg := testConfig()
+	pcfg := cfg
+	pcfg.Parallel = 4
+	for _, s := range StandardSchemes() {
+		seq := mustRun(t, tr, s, cfg)
+		par := mustRun(t, tr, s, pcfg)
+		a, err := seq.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: parallel run diverged from sequential:\n%s", s.Name, firstDiffLine(a, b))
+		}
+	}
+}
+
+// TestParallelConfigValidation pins the flag's domain.
+func TestParallelConfigValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Parallel = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("Parallel=-1 validated")
+	}
+	cfg.Parallel = 257
+	if err := cfg.Validate(); err == nil {
+		t.Error("Parallel=257 validated")
+	}
+	cfg.Parallel = 256
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("Parallel=256 rejected: %v", err)
+	}
+}
+
+// firstDiffLine renders the first differing line of two texts, with a line
+// number, for readable failure output.
+func firstDiffLine(a, b []byte) string {
+	al := bytes.Split(a, []byte("\n"))
+	bl := bytes.Split(b, []byte("\n"))
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, al[i], bl[i])
+		}
+	}
+	if len(al) != len(bl) {
+		return fmt.Sprintf("line counts differ: %d vs %d", len(al), len(bl))
+	}
+	return "no line-level difference (byte-level only)"
+}

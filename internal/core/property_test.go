@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// Property and metamorphic tests: invariants that must hold for every
+// scheme and workload, complementing the golden corpus (which pins exact
+// values for one configuration) with laws that constrain all of them.
+// The parallel≡sequential law lives in parallel_test.go.
+
+// TestEnergyComponentsSumToTotal checks the accounting identity behind
+// every figure: the component breakdown is exhaustive, so summing it
+// reproduces the reported total energy to float rounding.
+func TestEnergyComponentsSumToTotal(t *testing.T) {
+	tr := testTrace(t, "V3", 12)
+	for _, s := range StandardSchemes() {
+		res := mustRun(t, tr, s, testConfig())
+		var sum float64
+		for _, k := range res.Energy.Keys() {
+			sum += res.Energy.Get(k)
+		}
+		total := res.TotalEnergy()
+		if tol := 1e-12 * math.Max(1, total); math.Abs(sum-total) > tol {
+			t.Errorf("%s: components sum to %.15g but total is %.15g", s.Name, sum, total)
+		}
+		if total <= 0 {
+			t.Errorf("%s: non-positive total energy %g", s.Name, total)
+		}
+	}
+}
+
+// TestRatesWithinUnitInterval checks that every reported rate is a
+// probability: caches cannot hit more than they are asked, residency
+// cannot exceed wall time.
+func TestRatesWithinUnitInterval(t *testing.T) {
+	tr := testTrace(t, "V7", 12)
+	for _, s := range StandardSchemes() {
+		res := mustRun(t, tr, s, testConfig())
+		rates := map[string]float64{
+			"mach match rate":   res.Mach.MatchRate(),
+			"dram row-hit rate": res.Mem.RowHitRate(),
+			"dec ref-hit rate":  res.Dec.RefHitRate(),
+			"dec wb-hit rate":   res.Dec.WbHitRate(),
+			"s3 residency":      res.S3Residency(),
+		}
+		for name, r := range rates {
+			if r < 0 || r > 1 || math.IsNaN(r) {
+				t.Errorf("%s: %s = %g outside [0,1]", s.Name, name, r)
+			}
+		}
+	}
+}
+
+// TestMachCapacityMonotonic checks the metamorphic law of the content
+// cache: searching more frozen MACHs can only expose more match
+// opportunities, so total matches never decrease as NumMACHs grows (the
+// pointer-aging window widens with it, Fig 12a's x-axis).
+func TestMachCapacityMonotonic(t *testing.T) {
+	tr := testTrace(t, "V5", 16)
+	prev := int64(-1)
+	prevN := 0
+	for _, n := range []int{0, 1, 2, 4, 8, 16, 32} {
+		cfg := testConfig()
+		cfg.Mach.NumMACHs = n
+		res := mustRun(t, tr, GAB(DefaultBatch), cfg)
+		matches := res.Mach.IntraMatches + res.Mach.InterMatches
+		if matches < prev {
+			t.Errorf("matches dropped from %d (NumMACHs=%d) to %d (NumMACHs=%d)", prev, prevN, matches, n)
+		}
+		prev, prevN = matches, n
+	}
+}
+
+// TestBatchOneIsBaseline checks that Batching(1) is the identity
+// transformation: a one-deep batch schedules exactly like the unbatched
+// baseline, so every quantity except the scheme's display name matches.
+func TestBatchOneIsBaseline(t *testing.T) {
+	tr := testTrace(t, "V2", 12)
+	base := mustRun(t, tr, Baseline(), testConfig()).Canonical()
+	one := mustRun(t, tr, Batching(1), testConfig()).Canonical()
+	if base.Scheme != "Baseline" || one.Scheme != "Batching" {
+		t.Fatalf("scheme names changed: %q vs %q", base.Scheme, one.Scheme)
+	}
+	base.Scheme, one.Scheme = "", ""
+	if !reflect.DeepEqual(base, one) {
+		t.Errorf("Batching(1) diverged from Baseline:\nbaseline: %+v\nbatch-1:  %+v", base, one)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"mach/internal/energy"
 	"mach/internal/framebuf"
 	"mach/internal/mach"
+	"mach/internal/par"
 	"mach/internal/power"
 	"mach/internal/sim"
 	"mach/internal/stats"
@@ -80,6 +81,12 @@ func Run(tr *trace.Trace, s Scheme, cfg Config) (*Result, error) {
 	wb, err := mach.NewWriteback(mcfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Parallel > 1 {
+		// The pool shards only the pure per-mab prehash; classification
+		// and DRAM op generation stay serial in mab order, so the run is
+		// bit-identical to the sequential path (see DESIGN.md).
+		wb.SetPool(par.New(cfg.Parallel))
 	}
 
 	dcfg := cfg.Display

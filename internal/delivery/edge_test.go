@@ -1,0 +1,129 @@
+package delivery
+
+import (
+	"strings"
+	"testing"
+
+	"mach/internal/sim"
+)
+
+// TestValidateRejectsEachBranch walks every rejection clause of
+// Config.Validate with a config that is valid except for the one field
+// under test, so a future reordering of the switch cannot silently drop a
+// check.
+func TestValidateRejectsEachBranch(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"zero bandwidth", func(c *Config) { c.BandwidthBps = 0 }, "bandwidth"},
+		{"nan stall rate", func(c *Config) { c.StallRate = nan() }, "non-finite"},
+		{"negative rtt", func(c *Config) { c.RTT = -1 }, "negative latency"},
+		{"zero segment", func(c *Config) { c.SegmentFrames = 0 }, "segment frames"},
+		{"buffer below segment", func(c *Config) { c.BufferFrames = c.SegmentFrames - 1 }, "buffer"},
+		{"loss rate above one", func(c *Config) { c.LossRate = 1.5 }, "loss rate"},
+		{"stall rate above one", func(c *Config) { c.StallRate = 1.5 }, "stall rate"},
+		{"stall without duration", func(c *Config) { c.StallRate = 0.5; c.StallTime = 0 }, "stall time"},
+		{"negative timeout", func(c *Config) { c.Timeout = -1 }, "negative timeout"},
+		{"loss without timeout", func(c *Config) { c.LossRate = 0.1; c.Timeout = 0 }, "needs a timeout"},
+		{"too many retries", func(c *Config) { c.MaxRetries = 17 }, "max retries"},
+		{"negative backoff", func(c *Config) { c.MaxRetries = 2; c.BackoffBase = -1 }, "negative backoff"},
+		{"shrinking backoff", func(c *Config) { c.MaxRetries = 2; c.BackoffFactor = 0.5 }, "backoff factor"},
+		{"negative outage", func(c *Config) { c.OutagePeriod = -1 }, "negative outage"},
+		{"outage covers period", func(c *Config) { c.OutagePeriod = sim.Second; c.OutageTime = sim.Second }, "whole period"},
+		{"outage without period", func(c *Config) { c.OutagePeriod = 0; c.OutageTime = sim.Second }, "without a period"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := LTE()
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("config accepted: %+v", cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			// The same config with the model disabled must always pass:
+			// disabled means "never consulted".
+			cfg.Enabled = false
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("disabled config rejected: %v", err)
+			}
+		})
+	}
+}
+
+// TestPlanClampsPathologicalTransfer feeds a near-zero link a large
+// segment: the transfer time must clamp instead of overflowing virtual
+// time, and the schedule must still mark every frame available.
+func TestPlanClampsPathologicalTransfer(t *testing.T) {
+	cfg := LTE()
+	cfg.BandwidthBps = 1e-6 // ~10^13 s/byte before the clamp
+	cfg.LossRate = 0
+	cfg.Timeout = 0
+	cfg.MaxRetries = 0
+	sizes := []int{1 << 20, 1 << 20}
+	sched, err := Plan(cfg, sizes, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Avail) != len(sizes) {
+		t.Fatalf("got %d avail times, want %d", len(sched.Avail), len(sizes))
+	}
+	// One segment (SegmentFrames=8 covers both frames), clamped to the
+	// hour-long ceiling plus latency terms: far below an unclamped
+	// 10^13-second transfer, and strictly positive.
+	limit := 2 * 3600 * sim.Second
+	for i, at := range sched.Avail {
+		if at <= 0 || at > limit {
+			t.Fatalf("frame %d available at %v, want within (0, %v]", i, at, limit)
+		}
+	}
+}
+
+// TestPlanClampsRunawayBackoff drives a fully lossy link through its
+// retry ladder with an aggressive backoff: growth must clamp at the
+// ceiling and the player must abandon rather than hang, leaving
+// degradation (not deadlock) to the playback layer.
+func TestPlanClampsRunawayBackoff(t *testing.T) {
+	cfg := LTE()
+	cfg.LossRate = 1 // every attempt times out
+	cfg.Timeout = sim.FromMilliseconds(100)
+	cfg.MaxRetries = 12
+	cfg.BackoffBase = 10 * sim.Second
+	cfg.BackoffFactor = 8
+	sizes := []int{1000, 1000}
+	sched, err := Plan(cfg, sizes, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sched.Stats
+	if st.Abandoned == 0 {
+		t.Fatal("fully lossy link abandoned nothing")
+	}
+	// 12 retries with unclamped 8x growth from 10s would exceed 10s*8^11;
+	// the 60s ceiling bounds total backoff below retries*60s.
+	if max := sim.Time(13) * 60 * sim.Second; st.BackoffTime > max {
+		t.Fatalf("backoff time %v exceeds clamped ceiling %v", st.BackoffTime, max)
+	}
+	if st.BackoffTime < 60*sim.Second {
+		t.Fatalf("backoff time %v never reached the clamp region", st.BackoffTime)
+	}
+}
+
+// TestAdvanceNegativeStart pins the defensive clamp: a caller passing a
+// negative start (no real schedule does) is treated as starting at zero,
+// keeping the modular outage arithmetic well-defined.
+func TestAdvanceNegativeStart(t *testing.T) {
+	cfg := LTE()
+	cfg.OutagePeriod = sim.Second
+	cfg.OutageTime = sim.FromMilliseconds(200)
+	need := sim.FromMilliseconds(1700)
+	got := advance(cfg, -5*sim.Second, need)
+	want := advance(cfg, 0, need)
+	if got != want {
+		t.Fatalf("advance(-5s) = %v, advance(0) = %v", got, want)
+	}
+}

@@ -3,35 +3,11 @@ package experiments
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"mach/internal/core"
 	"mach/internal/delivery"
 	"mach/internal/stats"
 )
-
-// runIsolated executes fn(i) for every index in [0,n) concurrently,
-// recovering panics into errors so a single faulted cell cannot take down a
-// whole sweep. Results land in index order, so output built from them stays
-// deterministic regardless of goroutine scheduling.
-func runIsolated(n int, fn func(i int) error) []error {
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					errs[i] = fmt.Errorf("panic: %v", p)
-				}
-			}()
-			errs[i] = fn(i)
-		}(i)
-	}
-	wg.Wait()
-	return errs
-}
 
 // Delivery sweeps injected stall rate against link bandwidth and reports how
 // the three headline schemes degrade when the network, not the decoder, is
@@ -74,7 +50,7 @@ func (r *Runner) Delivery(stallRates []float64, bandwidthsMbps []float64) (*stat
 		}
 	}
 
-	errs := runIsolated(len(cells), func(i int) error {
+	errs := r.runIsolated(len(cells), func(i int) error {
 		c := &cells[i]
 		cfg := r.Cfg.Platform
 		d := delivery.LTE()

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"mach/internal/core"
+	"mach/internal/par"
 	"mach/internal/sim"
 	"mach/internal/trace"
 	"mach/internal/video"
@@ -28,6 +29,12 @@ type Config struct {
 	// Videos selects the workload subset for multi-video experiments
 	// (default: all 16).
 	Videos []string
+	// Workers bounds the sweep fan-out: multi-cell experiments run their
+	// independent simulations over a shared pool of this width, with
+	// results placed in index order so tables stay deterministic. 0
+	// selects GOMAXPROCS. This is sweep-level parallelism; the per-run
+	// engine width is Platform.Parallel.
+	Workers int
 }
 
 // Default returns the standard experiment scale: every workload, 96 frames
@@ -98,10 +105,12 @@ func (tc *TraceCache) Drop(profileKey string, sc video.StreamConfig) {
 // benchmark harness.
 var SharedCache = NewTraceCache()
 
-// Runner bundles a configuration with the shared cache.
+// Runner bundles a configuration with the shared cache and the bounded
+// pool its sweeps fan out over.
 type Runner struct {
 	Cfg   Config
 	Cache *TraceCache
+	pool  *par.Pool
 }
 
 // NewRunner returns a runner over the shared cache. The platform's cycle
@@ -131,7 +140,15 @@ func NewRunner(cfg Config) *Runner {
 		m.EnergyWriteLine *= f
 		m.RowOpenTimeout = sim.Time(float64(m.RowOpenTimeout) * f)
 	}
-	return &Runner{Cfg: cfg, Cache: SharedCache}
+	return &Runner{Cfg: cfg, Cache: SharedCache, pool: par.New(cfg.Workers)}
+}
+
+// runIsolated executes fn(i) for every index in [0,n) over the runner's
+// bounded pool, recovering panics into errors so a single faulted cell
+// cannot take down a whole sweep. Results land in index order, so output
+// built from them stays deterministic regardless of goroutine scheduling.
+func (r *Runner) runIsolated(n int, fn func(i int) error) []error {
+	return r.pool.Map(n, fn)
 }
 
 func (r *Runner) trace(key string) (*trace.Trace, error) {

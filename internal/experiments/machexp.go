@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -184,21 +185,27 @@ func (r *Runner) Fig11() (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := []any{key}
-		var base *core.Result
-		var dropsL, dropsG int64
-		for i, s := range schemes {
-			res, err := core.Run(tr, s, r.Cfg.Platform)
+		// The six schemes replay the same read-only trace independently:
+		// fan them out over the bounded pool. Results land in scheme
+		// order, so normalization and row assembly below stay serial and
+		// deterministic.
+		results := make([]*core.Result, len(schemes))
+		errs := r.runIsolated(len(schemes), func(i int) error {
+			res, err := core.Run(tr, schemes[i], r.Cfg.Platform)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if i == 0 {
-				base = res
-				dropsL = res.Drops
-			}
-			if i == len(schemes)-1 {
-				dropsG = res.Drops
-			}
+			results[i] = res
+			return nil
+		})
+		if err := errors.Join(errs...); err != nil {
+			return nil, err
+		}
+		row := []any{key}
+		base := results[0]
+		dropsL := results[0].Drops
+		dropsG := results[len(schemes)-1].Drops
+		for i, res := range results {
 			norm := res.TotalEnergy() / base.TotalEnergy()
 			sums[i] += norm
 			row = append(row, fmt.Sprintf("%.3f", norm))

@@ -1,0 +1,150 @@
+// Seeded violations and sanctioned idioms of the goroutine
+// captured-write rule (the static face of the parallel engine's
+// determinism guarantee).
+//
+//machlint:pkgpath mach/internal/par
+package par
+
+import "sync"
+
+func CapturedCounter(n int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++ // want "goroutine writes captured variable \"total\""
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+func CapturedAppend(n int) []int {
+	var out []int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out = append(out, i) // want "goroutine writes captured variable \"out\""
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+func CapturedMapWrite(keys []string) map[string]int {
+	m := make(map[string]int)
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		wg.Add(1)
+		go func(i int, k string) {
+			defer wg.Done()
+			m[k] = i // want "goroutine writes captured variable \"m\""
+		}(i, k)
+	}
+	wg.Wait()
+	return m
+}
+
+func CapturedIndex(s []int) {
+	var wg sync.WaitGroup
+	for i := range s {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s[i] = i * i // want "goroutine writes captured variable \"s\""
+		}()
+	}
+	wg.Wait()
+}
+
+func CapturedPointer(p *int) {
+	done := make(chan struct{})
+	go func() {
+		*p = 1 // want "goroutine writes captured variable \"p\""
+		close(done)
+	}()
+	<-done
+}
+
+// LocalIndexSlot is the engine's sanctioned pattern: the shared slice is
+// captured, but each goroutine writes only the slot its own parameter
+// selects, so no two goroutines touch the same element.
+func LocalIndexSlot(s []int) {
+	var wg sync.WaitGroup
+	for i := range s {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+}
+
+// LocalLoopSlot derives the slot index from a loop variable declared
+// inside the goroutine: still goroutine-local, still clean.
+func LocalLoopSlot(grid [][]int) {
+	var wg sync.WaitGroup
+	for r := range grid {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for c := range grid[r] {
+				grid[r][c] = r + c
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+// ChannelOwnership moves results by communication instead of shared
+// writes; sends are never flagged.
+func ChannelOwnership(n int) int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			ch <- i * i
+		}(i)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += <-ch
+	}
+	return total
+}
+
+// LockedSection declares its synchronization with a sync lock; auditing
+// the guard's completeness is the race detector's job.
+func LockedSection(n int) int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			total += i
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+// LocalOnly mutates nothing outside its own frame.
+func LocalOnly(done chan<- struct{}) {
+	go func() {
+		sum := 0
+		for j := 0; j < 8; j++ {
+			sum += j
+		}
+		_ = sum
+		done <- struct{}{}
+	}()
+}

@@ -7,6 +7,7 @@ import (
 	"mach/internal/codec"
 	"mach/internal/framebuf"
 	"mach/internal/hashes"
+	"mach/internal/par"
 )
 
 // Config describes one MACH deployment at the video decoder.
@@ -182,8 +183,60 @@ type Writeback struct {
 	gabBuf []byte
 	curMab int // ordinal of the mab currently being processed
 
+	// Parallel prehash state: pool shards the pure per-mab digest work,
+	// scratch gives each worker its own block buffers, and pre collects
+	// the per-mab results the serial classification phase consumes.
+	pool    *par.Pool
+	scratch []mabScratch
+	pre     prehash
+
 	// coalescing buffer fill levels and flush cursors
 	contentFill, ptrFill, baseFill int
+}
+
+// mabScratch is one worker's private block buffers.
+type mabScratch struct {
+	mab, gab []byte
+}
+
+// prehash holds the per-mab values that are pure functions of the decoded
+// frame: the 32-bit digest, the CO-MACH aux hash, the gab base, and (with
+// TrackCollisions) the md5 content fingerprint. Purity is what makes this
+// phase safe to shard across workers: every slot is written exactly once,
+// by the shard that owns its index, from frame content nobody mutates.
+type prehash struct {
+	digest []uint32
+	aux    []uint16
+	base   [][3]byte
+	fp     [][16]byte
+}
+
+func (p *prehash) resize(n int, wantAux, wantBase, wantFP bool) {
+	if cap(p.digest) < n {
+		p.digest = make([]uint32, n)
+	}
+	p.digest = p.digest[:n]
+	p.aux = p.aux[:0]
+	if wantAux {
+		if cap(p.aux) < n {
+			p.aux = make([]uint16, n)
+		}
+		p.aux = p.aux[:n]
+	}
+	p.base = p.base[:0]
+	if wantBase {
+		if cap(p.base) < n {
+			p.base = make([][3]byte, n)
+		}
+		p.base = p.base[:n]
+	}
+	p.fp = p.fp[:0]
+	if wantFP {
+		if cap(p.fp) < n {
+			p.fp = make([][16]byte, n)
+		}
+		p.fp = p.fp[:n]
+	}
 }
 
 // NewWriteback returns an engine for cfg, or an error for invalid configs.
@@ -210,6 +263,73 @@ func NewWriteback(cfg Config) (*Writeback, error) {
 
 // Config returns the engine configuration.
 func (w *Writeback) Config() Config { return w.cfg }
+
+// SetPool shards the pure per-mab prehash phase (block copy, gab transform,
+// digest and aux hashing, shadow fingerprints) across the pool's workers.
+// Classification, MACH state updates and write accounting stay serial and
+// in mab order — an order-preserving reduction — so the engine's output is
+// bit-identical to the sequential path; only wall clock changes. A nil pool
+// (the default) keeps everything inline on the caller.
+func (w *Writeback) SetPool(p *par.Pool) {
+	w.pool = p
+	w.scratch = nil
+	if p.Workers() > 1 {
+		w.scratch = make([]mabScratch, p.Workers())
+		for i := range w.scratch {
+			w.scratch[i] = mabScratch{
+				mab: make([]byte, w.cfg.MabBytes()),
+				gab: make([]byte, w.cfg.MabBytes()),
+			}
+		}
+	}
+}
+
+// prehashGrain is the number of mabs per shard of the parallel prehash.
+// Shard boundaries are a function of this constant and the frame geometry
+// alone — never of the worker count — so every pool width computes the
+// same values into the same slots (par.Shards documents the invariant).
+const prehashGrain = 512
+
+// prehashFrame computes the per-mab digest values for one frame. Each slot
+// of w.pre is a pure function of the frame content, so the work shards
+// freely; the caller consumes the slots strictly in mab order.
+func (w *Writeback) prehashFrame(fr *codec.Frame, numMabs int) {
+	cfg := w.cfg
+	n := cfg.MabSize
+	mabsPerRow := fr.MabsPerRow(n)
+	w.pre.resize(numMabs, cfg.CoMach, cfg.Gradient, w.shadow != nil)
+
+	hashOne := func(ord int, mab, gab []byte) {
+		x0 := (ord % mabsPerRow) * n
+		y0 := (ord / mabsPerRow) * n
+		fr.CopyBlock(x0, y0, n, mab)
+		content := mab
+		if cfg.Gradient {
+			ComputeGab(mab, &w.pre.base[ord], gab)
+			content = gab
+		}
+		w.pre.digest[ord] = hashes.Digest32(cfg.Digest, content)
+		if cfg.CoMach {
+			w.pre.aux[ord] = hashes.CRC16CCITT(content)
+		}
+		if w.shadow != nil {
+			w.pre.fp[ord] = md5.Sum(content)
+		}
+	}
+
+	if w.pool.Workers() <= 1 {
+		for ord := 0; ord < numMabs; ord++ {
+			hashOne(ord, w.mabBuf, w.gabBuf)
+		}
+		return
+	}
+	w.pool.ForShards(numMabs, prehashGrain, func(lo, hi, worker int) {
+		s := &w.scratch[worker]
+		for ord := lo; ord < hi; ord++ {
+			hashOne(ord, s.mab, s.gab)
+		}
+	})
+}
 
 // Stats returns the accumulated statistics.
 func (w *Writeback) Stats() Stats { return w.stats }
@@ -297,64 +417,72 @@ func (w *Writeback) ProcessFrame(fr *codec.Frame, displayIndex int, bufferBase, 
 	w.contentFill, w.ptrFill, w.baseFill = 0, 0, 0
 	var contentOff uint64
 
+	// Phase 1 — prehash: every per-mab value that is a pure function of the
+	// frame content (digest, aux, gab base, shadow fingerprint). This is
+	// the only phase a pool shards; with no pool it runs inline, through
+	// the same code, so the two engines cannot diverge.
+	w.prehashFrame(fr, numMabs)
+
+	// Phase 2 — classification: an order-preserving serial reduction. MACH
+	// lookups mutate LRU state, the coalescing buffers carry fill across
+	// mabs, and the sink paces DRAM writes — all order-dependent, so this
+	// loop consumes the prehashed slots strictly in mab order.
 	w.curMab = 0
-	for y0 := 0; y0 < fr.H; y0 += n {
-		for x0 := 0; x0 < fr.W; x0 += n {
-			w.stats.Mabs++
-			fr.CopyBlock(x0, y0, n, w.mabBuf)
-			content := w.mabBuf
-			var base [3]byte
-			if cfg.Gradient {
-				ComputeGab(w.mabBuf, &base, w.gabBuf)
-				content = w.gabBuf
-			}
-			digest := hashes.Digest32(cfg.Digest, content)
-			var aux uint16
-			if cfg.CoMach {
-				aux = hashes.CRC16CCITT(content)
-			}
+	for ord := 0; ord < numMabs; ord++ {
+		w.stats.Mabs++
+		digest := w.pre.digest[ord]
+		var aux uint16
+		if cfg.CoMach {
+			aux = w.pre.aux[ord]
+		}
+		var fp [16]byte
+		if w.shadow != nil {
+			fp = w.pre.fp[ord]
+		}
 
-			ptr, origin, kind := w.match(digest, aux, displayIndex)
-			rec := framebuf.MabRecord{Base: base}
+		ptr, origin, kind := w.match(digest, aux, displayIndex)
+		var rec framebuf.MabRecord
+		if cfg.Gradient {
+			rec.Base = w.pre.base[ord]
+		}
 
-			switch kind {
-			case matchNone:
-				addr := bufferBase + contentOff
-				contentOff += uint64(mabBytes)
-				rec.Kind = framebuf.RecFull
-				rec.Ptr = addr
-				w.stats.NoMatches++
-				w.stats.ContentBytes += uint64(mabBytes)
-				w.coalesce(&w.contentFill, &contentCursor, mabBytes, sink)
-				w.writeMeta(layout, &ptrCursor, &baseCursor, 4, sink)
-				w.insert(digest, aux, addr, displayIndex, content)
-			case matchIntra:
+		switch kind {
+		case matchNone:
+			addr := bufferBase + contentOff
+			contentOff += uint64(mabBytes)
+			rec.Kind = framebuf.RecFull
+			rec.Ptr = addr
+			w.stats.NoMatches++
+			w.stats.ContentBytes += uint64(mabBytes)
+			w.coalesce(&w.contentFill, &contentCursor, mabBytes, sink)
+			w.writeMeta(layout, &ptrCursor, &baseCursor, 4, sink)
+			w.insert(digest, aux, addr, displayIndex, fp)
+		case matchIntra:
+			rec.Kind = framebuf.RecPointer
+			rec.Ptr = ptr
+			w.stats.IntraMatches++
+			w.notePopularity(digest)
+			w.noteFalseMatch(ptr, fp)
+			w.writeMeta(layout, &ptrCursor, &baseCursor, 4, sink)
+		case matchInter:
+			w.stats.InterMatches++
+			w.notePopularity(digest)
+			w.noteFalseMatch(ptr, fp)
+			if cfg.Layout == framebuf.LayoutPtrDigest {
+				rec.Kind = framebuf.RecDigest
+				rec.Digest = digest
+			} else {
 				rec.Kind = framebuf.RecPointer
 				rec.Ptr = ptr
-				w.stats.IntraMatches++
-				w.notePopularity(digest)
-				w.noteFalseMatch(ptr, content)
-				w.writeMeta(layout, &ptrCursor, &baseCursor, 4, sink)
-			case matchInter:
-				w.stats.InterMatches++
-				w.notePopularity(digest)
-				w.noteFalseMatch(ptr, content)
-				if cfg.Layout == framebuf.LayoutPtrDigest {
-					rec.Kind = framebuf.RecDigest
-					rec.Digest = digest
-				} else {
-					rec.Kind = framebuf.RecPointer
-					rec.Ptr = ptr
-				}
-				w.writeMeta(layout, &ptrCursor, &baseCursor, 4, sink)
-				// The digest joins this frame's MACH (it is part of the
-				// frame's unique-content vocabulary), keeping the old
-				// pointer: later mabs of this frame match it as intra.
-				w.insert(digest, aux, ptr, origin, content)
 			}
-			layout.Records = append(layout.Records, rec)
-			w.curMab++
+			w.writeMeta(layout, &ptrCursor, &baseCursor, 4, sink)
+			// The digest joins this frame's MACH (it is part of the
+			// frame's unique-content vocabulary), keeping the old
+			// pointer: later mabs of this frame match it as intra.
+			w.insert(digest, aux, ptr, origin, fp)
 		}
+		layout.Records = append(layout.Records, rec)
+		w.curMab++
 	}
 
 	// Bitmap distinguishing pointer vs digest records (§5.1), layout iii.
@@ -476,20 +604,21 @@ func (w *Writeback) match(digest uint32, aux uint16, displayIndex int) (uint64, 
 
 // insert places a content address into the current MACH, or into CO-MACH
 // when the digest slot is occupied by different content (detected via the
-// aux hash).
-func (w *Writeback) insert(digest uint32, aux uint16, addr uint64, origin int, content []byte) {
+// aux hash). fp is the mab's prehashed md5 fingerprint; it is only read
+// when TrackCollisions enabled the shadow store.
+func (w *Writeback) insert(digest uint32, aux uint16, addr uint64, origin int, fp [16]byte) {
 	if w.cfg.CoMach {
 		if _, _, _, coll := w.current.lookup(digest, aux, true); coll {
 			w.co.insert(digest, aux, addr, origin)
 			if w.shadow != nil {
-				w.shadow[addr] = md5.Sum(content)
+				w.shadow[addr] = fp
 			}
 			return
 		}
 	}
 	w.current.insert(digest, aux, addr, origin)
 	if w.shadow != nil {
-		w.shadow[addr] = md5.Sum(content)
+		w.shadow[addr] = fp
 	}
 }
 
@@ -499,11 +628,11 @@ func (w *Writeback) notePopularity(digest uint32) {
 	}
 }
 
-func (w *Writeback) noteFalseMatch(ptr uint64, content []byte) {
+func (w *Writeback) noteFalseMatch(ptr uint64, fp [16]byte) {
 	if w.shadow == nil {
 		return
 	}
-	if fp, ok := w.shadow[ptr]; ok && fp != md5.Sum(content) {
+	if stored, ok := w.shadow[ptr]; ok && stored != fp {
 		w.stats.FalseMatches++
 	}
 }
