@@ -244,7 +244,7 @@ func BenchmarkAblationRowTimeout(b *testing.B) {
 		tb := stats.NewTable("timeout-us", "base-activates/frame", "race-activates/frame", "racing-benefit")
 		for _, us := range []float64{3, 6, 12, 24, 48} {
 			cfg := mach.DefaultConfig()
-			cfg.DRAM.RowOpenTimeout = sim.FromNanoseconds(us * 1000)
+			cfg.DRAM.RowOpenTimeout = sim.FromNanoseconds(sim.Nanoseconds(us * 1000))
 			lo, err := mach.Run(tr, mach.Baseline(), cfg)
 			if err != nil {
 				b.Fatal(err)

@@ -1,13 +1,21 @@
 // Command machlint runs the repository's static-analysis suite (see
 // internal/lint): determinism, unit safety, float equality, self-comparison
-// and narrow error-check invariants that keep the simulation replayable and
-// the energy accounting honest.
+// and error-check invariants that keep the simulation replayable and the
+// energy accounting honest. The flow-sensitive checks (unitflow,
+// ledgercheck, pathcheck) run per-function CFGs so a unit mixed or an
+// error dropped three blocks after its definition is still caught, and
+// staleignore flags lint:ignore directives whose finding no longer exists.
 //
 // Usage:
 //
 //	go run ./cmd/machlint ./...          # lint the whole module
 //	go run ./cmd/machlint -checks determinism,floateq ./...
 //	go run ./cmd/machlint -list          # describe the available checks
+//	go run ./cmd/machlint -json ./...    # machine-readable diagnostics
+//
+// With -json, diagnostics are emitted as one JSON array of objects with
+// "file", "line", "col", "analyzer" and "message" fields (empty array when
+// clean), for editors and CI problem matchers.
 //
 // Package patterns are accepted for familiarity but machlint always
 // analyzes the module containing the working directory as a whole: the
@@ -16,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +34,15 @@ import (
 	"mach/internal/lint"
 )
 
+// jsonDiagnostic is the -json wire shape of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -32,6 +50,7 @@ func main() {
 func run() int {
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := flag.Bool("list", false, "list available checks and exit")
+	asJSON := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	flag.Parse()
 
 	if *list {
@@ -72,12 +91,33 @@ func run() int {
 	}
 
 	diags := lint.RunAnalyzers(fset, pkgs, analyzers)
-	for _, d := range diags {
-		rel := d.Pos.Filename
-		if r, err := filepath.Rel(root, rel); err == nil {
-			rel = r
+	relName := func(name string) string {
+		if r, err := filepath.Rel(root, name); err == nil {
+			return r
 		}
-		fmt.Printf("%s:%d:%d: %s [%s]\n", rel, d.Pos.Line, d.Pos.Column, d.Message, d.Check)
+		return name
+	}
+	if *asJSON {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     relName(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Check,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "machlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s [%s]\n", relName(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Check)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "machlint: %d diagnostic(s)\n", len(diags))

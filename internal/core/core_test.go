@@ -34,11 +34,11 @@ func testTrace(t testing.TB, key string, frames int) *trace.Trace {
 func testConfig() Config {
 	cfg := DefaultConfig()
 	const f = 3600.0 / 960.0 // reference mabs / test mabs
-	cfg.Decoder.CyclesPerMabBase = int64(float64(cfg.Decoder.CyclesPerMabBase) * f)
+	cfg.Decoder.CyclesPerMabBase = sim.Cycles(float64(cfg.Decoder.CyclesPerMabBase) * f)
 	cfg.Decoder.CyclesPerBit *= f
-	cfg.Decoder.CyclesPerCoef = int64(float64(cfg.Decoder.CyclesPerCoef) * f)
-	cfg.Decoder.CyclesIntra = int64(float64(cfg.Decoder.CyclesIntra) * f)
-	cfg.Decoder.CyclesMC = int64(float64(cfg.Decoder.CyclesMC) * f)
+	cfg.Decoder.CyclesPerCoef = sim.Cycles(float64(cfg.Decoder.CyclesPerCoef) * f)
+	cfg.Decoder.CyclesIntra = sim.Cycles(float64(cfg.Decoder.CyclesIntra) * f)
+	cfg.Decoder.CyclesMC = sim.Cycles(float64(cfg.Decoder.CyclesMC) * f)
 	cfg.DRAM.EnergyActPre *= f
 	cfg.DRAM.EnergyReadLine *= f
 	cfg.DRAM.EnergyWriteLine *= f

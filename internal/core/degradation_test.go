@@ -152,7 +152,7 @@ func TestDeliveryGracefulDegradation(t *testing.T) {
 	if res.Radio.TotalEnergy() <= 0 {
 		t.Fatal("no radio energy accounted")
 	}
-	if got := res.Energy.Get("radio"); math.Abs(got-res.Radio.TotalEnergy()) > 1e-12 {
+	if got := res.Energy.Get("radio"); math.Abs(got-float64(res.Radio.TotalEnergy())) > 1e-12 {
 		t.Fatalf("breakdown radio %g != ledger %g", got, res.Radio.TotalEnergy())
 	}
 }

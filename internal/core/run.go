@@ -101,9 +101,9 @@ func Run(tr *trace.Trace, s Scheme, cfg Config) (*Result, error) {
 	// energy (§6.2: Racing's "transitions are to/from higher P states").
 	pcfg := cfg.Power
 	if s.Race {
-		scale := cfg.Decoder.PowerHigh / cfg.Decoder.PowerLow
-		pcfg.S1TransitionEnergy *= scale
-		pcfg.S3TransitionEnergy *= scale
+		scale := float64(cfg.Decoder.PowerHigh) / float64(cfg.Decoder.PowerLow)
+		pcfg.S1TransitionEnergy = energy.Joules(float64(pcfg.S1TransitionEnergy) * scale)
+		pcfg.S3TransitionEnergy = energy.Joules(float64(pcfg.S3TransitionEnergy) * scale)
 	}
 	ledger := power.NewLedger(pcfg)
 
@@ -161,7 +161,7 @@ func Run(tr *trace.Trace, s Scheme, cfg Config) (*Result, error) {
 	mabsPerCol := p.Height / mabSize
 	numMabs := p.MabsPerFrame()
 	frameBytes := uint64(tr.DecodedBytesPerFrame())
-	line := cfg.DRAM.LineBytes
+	line := uint64(cfg.DRAM.LineBytes)
 	alignUp := func(v uint64) uint64 { return (v + line - 1) &^ (line - 1) }
 	// Slot: content area + pointer/digest array + base array + bitmap.
 	slotBytes := alignUp(frameBytes) + alignUp(uint64(numMabs*4+numMabs/8+8)) + alignUp(uint64(numMabs*3)) + 4096
@@ -351,7 +351,7 @@ func Run(tr *trace.Trace, s Scheme, cfg Config) (*Result, error) {
 
 			if res.FrameTimes != nil {
 				res.FrameTimes.Add(fres.BusyTime.Seconds())
-				res.FrameEnergies.Add(fres.ActiveEnergy)
+				res.FrameEnergies.Add(float64(fres.ActiveEnergy))
 			}
 
 			// Display handover.
@@ -427,14 +427,14 @@ func Run(tr *trace.Trace, s Scheme, cfg Config) (*Result, error) {
 	res.Mach = wstats
 	res.Ledger = ledger
 
-	res.Energy.Add(energy.CompVDBusy, dec.ActiveEnergy)
-	res.Energy.Add(energy.CompSleep, ledger.S1Energy+ledger.S3Energy)
-	res.Energy.Add(energy.CompShortSlack, ledger.IdleEnergy)
-	res.Energy.Add(energy.CompTransition, ledger.TransEnergy)
-	res.Energy.Add(energy.CompMemActPre, menergy.ActPre)
-	res.Energy.Add(energy.CompMemBurst, menergy.Burst)
-	res.Energy.Add(energy.CompMemBackground, menergy.Background)
-	res.Energy.Add(energy.CompDC, disp.ActiveEnergy)
+	res.Energy.Add(energy.CompVDBusy, float64(dec.ActiveEnergy))
+	res.Energy.Add(energy.CompSleep, float64(ledger.S1Energy+ledger.S3Energy))
+	res.Energy.Add(energy.CompShortSlack, float64(ledger.IdleEnergy))
+	res.Energy.Add(energy.CompTransition, float64(ledger.TransEnergy))
+	res.Energy.Add(energy.CompMemActPre, float64(menergy.ActPre))
+	res.Energy.Add(energy.CompMemBurst, float64(menergy.Burst))
+	res.Energy.Add(energy.CompMemBackground, float64(menergy.Background))
+	res.Energy.Add(energy.CompDC, float64(disp.ActiveEnergy))
 
 	if sched != nil {
 		// Radio: idle tail/sleep runs to the end of playback, then the
@@ -443,7 +443,7 @@ func Run(tr *trace.Trace, s Scheme, cfg Config) (*Result, error) {
 		sched.Radio.Finish(end)
 		res.Net = sched.Stats
 		res.Radio = sched.Radio.Stats()
-		res.Energy.Add(energy.CompRadio, res.Radio.TotalEnergy())
+		res.Energy.Add(energy.CompRadio, float64(res.Radio.TotalEnergy()))
 	}
 
 	machOn := s.Mach != MachOff
@@ -453,10 +453,10 @@ func Run(tr *trace.Trace, s Scheme, cfg Config) (*Result, error) {
 	}
 	machLookups := wstats.Mabs * int64(1+mcfg.NumMACHs)
 	machBufOps := disp.DigestRecords + disp.PrefetchReads
-	res.Energy.Add(energy.CompMachOverhead, cfg.SRAM.Overhead(
+	res.Energy.Add(energy.CompMachOverhead, float64(cfg.SRAM.Overhead(
 		end.Seconds(), machOn, dispOpt,
 		machLookups, machBufOps, disp.DCLookups, gabMabs,
-	))
+	)))
 
 	return res, nil
 }

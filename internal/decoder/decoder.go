@@ -17,7 +17,9 @@ import (
 	"mach/internal/cache"
 	"mach/internal/codec"
 	"mach/internal/dram"
+	"mach/internal/energy"
 	"mach/internal/framebuf"
+	"mach/internal/power"
 	"mach/internal/sim"
 )
 
@@ -25,8 +27,8 @@ import (
 type Config struct {
 	FreqLow   sim.Hertz // baseline DVFS point (paper: 150 MHz, 0.30 W)
 	FreqHigh  sim.Hertz // racing DVFS point (paper: 300 MHz, 0.69 W)
-	PowerLow  float64
-	PowerHigh float64
+	PowerLow  power.Watts
+	PowerHigh power.Watts
 
 	// Decode cache servicing reference-block and layout-metadata reads.
 	CacheBytes int
@@ -35,11 +37,11 @@ type Config struct {
 
 	// Cycle-cost model per mab (calibrated so the baseline frame-time
 	// distribution reproduces the paper's Regions I-IV; see EXPERIMENTS.md).
-	CyclesPerMabBase int64   // fixed pipeline overhead per mab
-	CyclesPerBit     float64 // entropy decoding
-	CyclesPerCoef    int64   // inverse transform per nonzero coefficient
-	CyclesIntra      int64   // intra prediction
-	CyclesMC         int64   // motion compensation per reference fetch
+	CyclesPerMabBase sim.Cycles // fixed pipeline overhead per mab
+	CyclesPerBit     float64    // entropy decoding, cycles per bit
+	CyclesPerCoef    sim.Cycles // inverse transform per nonzero coefficient
+	CyclesIntra      sim.Cycles // intra prediction
+	CyclesMC         sim.Cycles // motion compensation per reference fetch
 
 	// WritebackThroughCache routes frame writeback through the decode
 	// cache (the Fig 7a experiment showing streaming writes do not cache).
@@ -89,7 +91,7 @@ func (c Config) Freq(race bool) sim.Hertz {
 }
 
 // Power returns the active power for the racing flag.
-func (c Config) Power(race bool) float64 {
+func (c Config) Power(race bool) power.Watts {
 	if race {
 		return c.PowerHigh
 	}
@@ -100,10 +102,10 @@ func (c Config) Power(race bool) float64 {
 type Stats struct {
 	Frames        int64
 	Mabs          int64
-	ComputeCycles int64
+	ComputeCycles sim.Cycles
 	StallTime     sim.Time
 	BusyTime      sim.Time
-	ActiveEnergy  float64 // joules at the P-state power
+	ActiveEnergy  energy.Joules // at the P-state power
 
 	RefReads  int64 // reference-block line reads requested
 	RefHits   int64 // served by the decode cache
@@ -138,7 +140,7 @@ type FrameResult struct {
 	Start, Done  sim.Time
 	BusyTime     sim.Time
 	StallTime    sim.Time
-	ActiveEnergy float64
+	ActiveEnergy energy.Joules
 	LineWrites   int64
 }
 
@@ -338,7 +340,7 @@ func (ip *IP) DecodeFrame(
 		fwdRef = ip.layouts[ip.newerAnchor]
 	}
 
-	var cycles int64
+	var cycles sim.Cycles
 	mabDone := make([]sim.Time, len(work.Mabs)+1)
 	for i := range work.Mabs {
 		mw := &work.Mabs[i]
@@ -347,8 +349,8 @@ func (ip *IP) DecodeFrame(
 		mabY := i / mabsPerRow
 
 		c := cfg.CyclesPerMabBase +
-			int64(cfg.CyclesPerBit*float64(mw.Bits)) +
-			cfg.CyclesPerCoef*int64(mw.Nonzero)
+			sim.Cycles(cfg.CyclesPerBit*float64(mw.Bits)) +
+			cfg.CyclesPerCoef*sim.Cycles(mw.Nonzero)
 		switch mw.Type {
 		case codec.MabI:
 			c += cfg.CyclesIntra
@@ -447,18 +449,18 @@ func (ip *IP) DecodeFrame(
 		}
 	}
 
-	energy := cfg.Power(race) * busy.Seconds()
+	e := cfg.Power(race).Over(busy)
 	ip.stats.Frames++
 	ip.stats.ComputeCycles += cycles
 	ip.stats.StallTime += stall
 	ip.stats.BusyTime += busy
-	ip.stats.ActiveEnergy += energy
+	ip.stats.ActiveEnergy += e
 
 	return layout, FrameResult{
 		Start:        now,
 		Done:         done,
 		BusyTime:     busy,
 		StallTime:    stall,
-		ActiveEnergy: energy,
+		ActiveEnergy: e,
 	}
 }

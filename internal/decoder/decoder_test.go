@@ -94,7 +94,7 @@ func TestDecodeFrameTiming(t *testing.T) {
 	}
 	// Expected compute cycles: (base + bits*perBit + nz*perCoef + intra) per mab.
 	cfg := DefaultConfig()
-	perMab := cfg.CyclesPerMabBase + int64(cfg.CyclesPerBit*100) + cfg.CyclesPerCoef*8 + cfg.CyclesIntra
+	perMab := cfg.CyclesPerMabBase + sim.Cycles(cfg.CyclesPerBit*100) + cfg.CyclesPerCoef*8 + cfg.CyclesIntra
 	wantCompute := cfg.FreqLow.Cycles(perMab * 100)
 	if res.BusyTime < wantCompute {
 		t.Fatalf("busy %v below pure compute %v", res.BusyTime, wantCompute)

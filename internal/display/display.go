@@ -21,14 +21,16 @@ import (
 
 	"mach/internal/cache"
 	"mach/internal/dram"
+	"mach/internal/energy"
 	"mach/internal/framebuf"
+	"mach/internal/power"
 	"mach/internal/sim"
 )
 
 // Config describes the display controller.
 type Config struct {
 	FPS       int
-	Power     float64 // W while scanning (Table 2: 0.12 W)
+	Power     power.Watts // while scanning (Table 2: 0.12 W)
 	LineBytes int
 
 	UseDisplayCache   bool
@@ -90,7 +92,7 @@ type Stats struct {
 	MachBufMisses  int64 // digest records that fell back to memory
 	DigestRecords  int64 // records indexed by digest (Fig 10d)
 	PointerRecords int64
-	ActiveEnergy   float64 // scan power integrated over shown frames
+	ActiveEnergy   energy.Joules // scan power integrated over shown frames
 }
 
 // DCHitRate returns the display-cache hit rate.
@@ -301,7 +303,7 @@ func (c *Controller) ScanOut(start sim.Time, l *framebuf.FrameLayout) int64 {
 	}
 
 	c.stats.FramesShown++
-	c.stats.ActiveEnergy += c.cfg.Power * period.Seconds()
+	c.stats.ActiveEnergy += c.cfg.Power.Over(period)
 	return c.stats.MemLineReads - before
 }
 
@@ -327,7 +329,7 @@ func (c *Controller) RepeatFrame(start sim.Time, prev *framebuf.FrameLayout) {
 		c.ScanOut(start, prev)
 		c.stats.FramesShown-- // the repeat is not a new frame
 	} else {
-		c.stats.ActiveEnergy += c.cfg.Power * c.cfg.FramePeriod().Seconds()
+		c.stats.ActiveEnergy += c.cfg.Power.Over(c.cfg.FramePeriod())
 	}
 }
 

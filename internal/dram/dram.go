@@ -16,16 +16,25 @@ package dram
 import (
 	"fmt"
 
+	"mach/internal/energy"
+	"mach/internal/power"
 	"mach/internal/sim"
 )
+
+// Bytes is a size in bytes — rows, lines, transfer extents. It is a named
+// unit type (DESIGN.md "machlint v2: unit types"), distinct from the plain
+// uint64 physical addresses it offsets: adding Bytes to an address is
+// meaningful, adding an address to an address is not, and the unitflow
+// analyzer keeps derived locals honest. The underlying uint64 is unchanged.
+type Bytes uint64
 
 // Config describes one LPDDR3 device pool.
 type Config struct {
 	Channels        int
 	RanksPerChannel int
 	BanksPerRank    int
-	RowBytes        uint64 // row-buffer (page) size per bank
-	LineBytes       uint64 // transaction granularity (one 64B burst)
+	RowBytes        Bytes // row-buffer (page) size per bank
+	LineBytes       Bytes // transaction granularity (one 64B burst)
 
 	TRCD   sim.Time // activate -> column command
 	TRP    sim.Time // precharge duration
@@ -57,13 +66,13 @@ type Config struct {
 	TRefi sim.Time
 	TRfc  sim.Time
 	// EnergyRefresh is charged per settled refresh window per bank.
-	EnergyRefresh float64
+	EnergyRefresh energy.Joules
 
 	// Energy model (joules per operation, watts for background).
-	EnergyActPre    float64 // one activate+precharge pair
-	EnergyReadLine  float64 // one line read burst
-	EnergyWriteLine float64 // one line write burst
-	BackgroundPower float64 // standby + refresh, whole pool
+	EnergyActPre    energy.Joules // one activate+precharge pair
+	EnergyReadLine  energy.Joules // one line read burst
+	EnergyWriteLine energy.Joules // one line write burst
+	BackgroundPower power.Watts   // standby + refresh, whole pool
 }
 
 // DefaultConfig returns the Table 2 configuration. The per-operation energies
@@ -139,13 +148,13 @@ func (s Stats) RowHitRate() float64 {
 
 // Energy is the accumulated energy split, in joules.
 type Energy struct {
-	ActPre     float64
-	Burst      float64
-	Background float64
+	ActPre     energy.Joules
+	Burst      energy.Joules
+	Background energy.Joules
 }
 
 // Total returns the sum of all components.
-func (e Energy) Total() float64 { return e.ActPre + e.Burst + e.Background }
+func (e Energy) Total() energy.Joules { return e.ActPre + e.Burst + e.Background }
 
 type bank struct {
 	openRow     int64 // -1 when precharged
@@ -179,7 +188,7 @@ func New(cfg Config) *Memory {
 	m := &Memory{
 		cfg:         cfg,
 		banks:       make([]bank, n),
-		linesPerRow: cfg.RowBytes / cfg.LineBytes,
+		linesPerRow: uint64(cfg.RowBytes / cfg.LineBytes),
 		rowsPerBank: 1 << 20, // plenty; rows wrap by masking
 	}
 	for i := range m.banks {
@@ -222,7 +231,7 @@ func (a AddressMapping) String() string {
 
 // route decomposes a physical address under the configured mapping.
 func (m *Memory) route(addr uint64) (bankIdx int, row int64) {
-	line := addr / m.cfg.LineBytes
+	line := addr / uint64(m.cfg.LineBytes)
 	ch := line % uint64(m.cfg.Channels)
 	line /= uint64(m.cfg.Channels)
 	var bk, rk uint64
@@ -267,7 +276,7 @@ func (m *Memory) Access(now sim.Time, addr uint64, write bool) sim.Time {
 		elapsed := int64((start - b.refreshedAt) / m.cfg.TRefi)
 		b.refreshedAt += sim.Time(elapsed * int64(m.cfg.TRefi))
 		m.stats.Refreshes += elapsed
-		m.energy.Background += m.cfg.EnergyRefresh * float64(elapsed)
+		m.energy.Background += m.cfg.EnergyRefresh * energy.Joules(elapsed)
 		if b.openRow >= 0 {
 			b.openRow = -1
 			m.stats.Precharges++
@@ -326,10 +335,11 @@ func (m *Memory) AccessRange(now sim.Time, addr, size uint64, write bool) (done 
 	if size == 0 {
 		return now, 0
 	}
-	first := addr &^ (m.cfg.LineBytes - 1)
-	last := (addr + size - 1) &^ (m.cfg.LineBytes - 1)
+	lineBytes := uint64(m.cfg.LineBytes)
+	first := addr &^ (lineBytes - 1)
+	last := (addr + size - 1) &^ (lineBytes - 1)
 	done = now
-	for a := first; a <= last; a += m.cfg.LineBytes {
+	for a := first; a <= last; a += lineBytes {
 		d := m.Access(now, a, write)
 		if d > done {
 			done = d
@@ -346,7 +356,7 @@ func (m *Memory) AccrueBackground(now sim.Time) {
 	if now <= m.bgFrom {
 		return
 	}
-	m.energy.Background += m.cfg.BackgroundPower * (now - m.bgFrom).Seconds()
+	m.energy.Background += m.cfg.BackgroundPower.Over(now - m.bgFrom)
 	m.bgFrom = now
 }
 

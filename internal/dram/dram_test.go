@@ -50,7 +50,7 @@ func TestRowHitLatency(t *testing.T) {
 	}
 	// Same row, same channel: stride by Channels*LineBytes to stay in the
 	// same channel under the RoRaBaCoCh line-interleaved mapping.
-	d2 := m.Access(d1, c.LineBytes*uint64(c.Channels), false)
+	d2 := m.Access(d1, uint64(c.LineBytes)*uint64(c.Channels), false)
 	if got := d2 - d1; got != c.TCL+c.TBurst {
 		t.Fatalf("row hit latency = %v want %v", got, c.TCL+c.TBurst)
 	}
@@ -65,7 +65,7 @@ func TestRowConflictLatency(t *testing.T) {
 	c := m.Config()
 	d1 := m.Access(0, 0, false)
 	// Same bank, different row: stride by a full bank rotation.
-	rowStride := c.RowBytes * uint64(c.Channels) * uint64(c.BanksPerRank) * uint64(c.RanksPerChannel)
+	rowStride := uint64(c.RowBytes) * uint64(c.Channels) * uint64(c.BanksPerRank) * uint64(c.RanksPerChannel)
 	d2 := m.Access(d1, rowStride, false)
 	if got := d2 - d1; got != c.TRP+c.TRCD+c.TCL+c.TBurst {
 		t.Fatalf("conflict latency = %v", got)
@@ -81,7 +81,7 @@ func TestBankQueueing(t *testing.T) {
 	c := m.Config()
 	d1 := m.Access(0, 0, false)
 	// Second request to the same bank issued at time 0 must queue.
-	d2 := m.Access(0, c.LineBytes*uint64(c.Channels), false)
+	d2 := m.Access(0, uint64(c.LineBytes)*uint64(c.Channels), false)
 	if d2 <= d1 {
 		t.Fatalf("expected queueing: d1=%v d2=%v", d1, d2)
 	}
@@ -95,7 +95,7 @@ func TestChannelParallelism(t *testing.T) {
 	c := m.Config()
 	d1 := m.Access(0, 0, false)
 	// Adjacent line maps to the other channel: no queueing.
-	d2 := m.Access(0, c.LineBytes, false)
+	d2 := m.Access(0, uint64(c.LineBytes), false)
 	if d2 != d1 {
 		t.Fatalf("different channels should not queue: %v vs %v", d1, d2)
 	}
@@ -109,7 +109,7 @@ func TestRowOpenTimeout(t *testing.T) {
 	// Revisit the same row long after the timeout: the controller has
 	// precharged it in the background, so we pay an activate again.
 	late := d1 + sim.FromNanoseconds(1000)
-	d2 := m.Access(late, uint64(c.Channels)*c.LineBytes, false)
+	d2 := m.Access(late, uint64(c.Channels)*uint64(c.LineBytes), false)
 	if got := d2 - late; got != c.TRCD+c.TCL+c.TBurst {
 		t.Fatalf("post-timeout latency = %v", got)
 	}
@@ -131,7 +131,7 @@ func TestDensePacketsBeatSparse(t *testing.T) {
 		m := New(c)
 		now := sim.Time(0)
 		for i := 0; i < 256; i++ {
-			addr := uint64(i) * c.LineBytes
+			addr := uint64(i) * uint64(c.LineBytes)
 			done := m.Access(now, addr, true)
 			if done > now {
 				now = done
@@ -171,8 +171,8 @@ func TestAccessRangeFragmentation(t *testing.T) {
 func TestEnergyAccounting(t *testing.T) {
 	c := cfgNoTimeout()
 	m := New(c)
-	d := m.Access(0, 0, false)                        // activate + read
-	m.Access(d, uint64(c.Channels)*c.LineBytes, true) // row hit write
+	d := m.Access(0, 0, false)                                // activate + read
+	m.Access(d, uint64(c.Channels)*uint64(c.LineBytes), true) // row hit write
 	m.AccrueBackground(sim.FromMilliseconds(1))
 	e := m.EnergySnapshot()
 	if e.ActPre != c.EnergyActPre/2 {
@@ -182,7 +182,7 @@ func TestEnergyAccounting(t *testing.T) {
 	if e.Burst != wantBurst {
 		t.Fatalf("burst = %v want %v", e.Burst, wantBurst)
 	}
-	wantBg := c.BackgroundPower * 0.001
+	wantBg := c.BackgroundPower.Over(sim.FromMilliseconds(1))
 	if diff := e.Background - wantBg; diff > 1e-12 || diff < -1e-12 {
 		t.Fatalf("background = %v want %v", e.Background, wantBg)
 	}
@@ -210,7 +210,7 @@ func TestResetStats(t *testing.T) {
 	// still hits.
 	c := m.Config()
 	start := sim.FromMilliseconds(1)
-	d := m.Access(start, uint64(c.Channels)*c.LineBytes, false)
+	d := m.Access(start, uint64(c.Channels)*uint64(c.LineBytes), false)
 	if got := d - start; got != c.TCL+c.TBurst {
 		t.Fatalf("row should still be open, latency %v", got)
 	}
@@ -222,7 +222,7 @@ func TestSequentialStreamRowHitRate(t *testing.T) {
 	now := sim.Time(0)
 	n := 2048
 	for i := 0; i < n; i++ {
-		done := m.Access(now, uint64(i)*c.LineBytes, true)
+		done := m.Access(now, uint64(i)*uint64(c.LineBytes), true)
 		if done > now {
 			now = done
 		}
@@ -244,7 +244,7 @@ func TestRefreshClosesRowsAndStalls(t *testing.T) {
 	// Re-reference the same row long after a refresh window: the row was
 	// refreshed away and the access also waits out tRFC.
 	late := d1 + c.TRefi + sim.Microsecond
-	d2 := m.Access(late, uint64(c.Channels)*c.LineBytes, false)
+	d2 := m.Access(late, uint64(c.Channels)*uint64(c.LineBytes), false)
 	want := c.TRfc + c.TRCD + c.TCL + c.TBurst
 	if got := d2 - late; got != want {
 		t.Fatalf("post-refresh latency = %v want %v", got, want)
@@ -271,7 +271,7 @@ func TestAddressMappings(t *testing.T) {
 		m := New(c)
 		seen := map[int]bool{}
 		for i := 0; i < 16; i++ {
-			addr := uint64(i) * c.LineBytes * uint64(c.Channels) // same channel
+			addr := uint64(i) * uint64(c.LineBytes) * uint64(c.Channels) // same channel
 			b, _ := m.route(addr)
 			seen[b] = true
 		}

@@ -84,7 +84,7 @@ func DefaultSRAM() SRAMConfig {
 //
 // Structures that a scheme does not instantiate contribute nothing: pass
 // zero ops and set the static flags accordingly.
-func (c SRAMConfig) Overhead(seconds float64, machOn, dispOn bool, machLookups, machBufOps, dispCacheOps, gabMabs int64) float64 {
+func (c SRAMConfig) Overhead(seconds float64, machOn, dispOn bool, machLookups, machBufOps, dispCacheOps, gabMabs int64) Joules {
 	e := 0.0
 	if machOn {
 		e += c.MachStatic*seconds + c.MachPerAccess*float64(machLookups) + c.GabPerMab*float64(gabMabs)
@@ -94,5 +94,5 @@ func (c SRAMConfig) Overhead(seconds float64, machOn, dispOn bool, machLookups, 
 			c.MachBufPerAccess*float64(machBufOps) +
 			c.DispCachePerAccess*float64(dispCacheOps)
 	}
-	return e
+	return Joules(e)
 }

@@ -32,17 +32,17 @@ func TestOverheadArithmetic(t *testing.T) {
 
 	// MACH only: static + per-lookup + gradient units.
 	want := c.MachStatic*2.0 + c.MachPerAccess*100 + c.GabPerMab*50
-	if got := c.Overhead(2.0, true, false, 100, 999, 999, 50); got != want {
+	if got := c.Overhead(2.0, true, false, 100, 999, 999, 50); float64(got) != want {
 		t.Fatalf("mach overhead = %g want %g", got, want)
 	}
 
 	// Display structures add the buffer and cache.
 	withDisp := c.Overhead(2.0, true, true, 100, 10, 20, 50)
-	if withDisp <= want {
+	if float64(withDisp) <= want {
 		t.Fatal("display structures must add energy")
 	}
 	wantDisp := want + (c.MachBufStatic+c.DispCacheStatic)*2.0 + c.MachBufPerAccess*10 + c.DispCachePerAccess*20
-	if diff := withDisp - wantDisp; diff > 1e-18 || diff < -1e-18 {
+	if diff := float64(withDisp) - wantDisp; diff > 1e-18 || diff < -1e-18 {
 		t.Fatalf("display overhead = %g want %g", withDisp, wantDisp)
 	}
 }

@@ -84,7 +84,7 @@ func (r *Runner) Delivery(stallRates []float64, bandwidthsMbps []float64) (*stat
 			c.res.Rebuffers,
 			fmt.Sprintf("%.1f", c.res.RebufferTime.Milliseconds()),
 			c.res.Net.Retries,
-			fmt.Sprintf("%.3f", 1e3*c.res.Radio.TotalEnergy()/float64(len(tr.Frames))))
+			fmt.Sprintf("%.3f", 1e3*float64(c.res.Radio.TotalEnergy())/float64(len(tr.Frames))))
 	}
 	return tb, nil
 }
@@ -123,7 +123,7 @@ func (r *Runner) DeliveryProfiles() (*stats.Table, error) {
 			fmt.Sprintf("%.1f", res.RebufferTime.Milliseconds()),
 			res.Net.Retries,
 			res.Net.Abandoned,
-			fmt.Sprintf("%.3f", 1e3*res.Radio.TotalEnergy()/float64(len(tr.Frames))),
+			fmt.Sprintf("%.3f", 1e3*float64(res.Radio.TotalEnergy())/float64(len(tr.Frames))),
 			fmt.Sprintf("%.1f", 100*res.S3Residency()))
 	}
 	return tb, nil

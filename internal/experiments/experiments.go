@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"mach/internal/core"
+	"mach/internal/energy"
 	"mach/internal/par"
 	"mach/internal/sim"
 	"mach/internal/trace"
@@ -129,15 +130,15 @@ func NewRunner(cfg Config) *Runner {
 	if mabs > 0 {
 		f := refMabs / mabs
 		d := &cfg.Platform.Decoder
-		d.CyclesPerMabBase = int64(float64(d.CyclesPerMabBase) * f)
+		d.CyclesPerMabBase = sim.Cycles(float64(d.CyclesPerMabBase) * f)
 		d.CyclesPerBit *= f
-		d.CyclesPerCoef = int64(float64(d.CyclesPerCoef)*f + 0.5)
-		d.CyclesIntra = int64(float64(d.CyclesIntra) * f)
-		d.CyclesMC = int64(float64(d.CyclesMC) * f)
+		d.CyclesPerCoef = sim.Cycles(float64(d.CyclesPerCoef)*f + 0.5)
+		d.CyclesIntra = sim.Cycles(float64(d.CyclesIntra) * f)
+		d.CyclesMC = sim.Cycles(float64(d.CyclesMC) * f)
 		m := &cfg.Platform.DRAM
-		m.EnergyActPre *= f
-		m.EnergyReadLine *= f
-		m.EnergyWriteLine *= f
+		m.EnergyActPre = energy.Joules(float64(m.EnergyActPre) * f)
+		m.EnergyReadLine = energy.Joules(float64(m.EnergyReadLine) * f)
+		m.EnergyWriteLine = energy.Joules(float64(m.EnergyWriteLine) * f)
 		m.RowOpenTimeout = sim.Time(float64(m.RowOpenTimeout) * f)
 	}
 	return &Runner{Cfg: cfg, Cache: SharedCache, pool: par.New(cfg.Workers)}

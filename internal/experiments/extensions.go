@@ -149,7 +149,7 @@ func (r *Runner) Contention(bandwidthsMBs []float64) (*stats.Table, error) {
 		cfg := r.Cfg.Platform
 		if mbs > 0 {
 			cfg.Traffic = soc.DefaultTraffic()
-			cfg.Traffic.BytesPerSecond = mbs * 1e6
+			cfg.Traffic.BytesPerSecond = soc.BytesPerSecond(mbs * 1e6)
 		}
 		base, err := core.Run(tr, core.Baseline(), cfg)
 		if err != nil {
@@ -165,7 +165,7 @@ func (r *Runner) Contention(bandwidthsMBs []float64) (*stats.Table, error) {
 		}
 		benefit := 0.0
 		if base.MemEnergy.ActPre > 0 {
-			benefit = 1 - race.MemEnergy.ActPre/base.MemEnergy.ActPre
+			benefit = 1 - float64(race.MemEnergy.ActPre)/float64(base.MemEnergy.ActPre)
 		}
 		tb.AddRow(mbs,
 			fmt.Sprintf("%.2f", 1e3*base.EnergyPerFrame()),

@@ -186,8 +186,8 @@ func (r *Runner) Fig5() (*stats.Table, error) {
 	}{
 		{"activates/frame", float64(base.Mem.Activates) / frames, float64(race.Mem.Activates) / frames},
 		{"row-hit-rate", base.Mem.RowHitRate(), race.Mem.RowHitRate()},
-		{"actpre-mJ/frame", 1e3 * base.MemEnergy.ActPre / frames, 1e3 * race.MemEnergy.ActPre / frames},
-		{"burst-mJ/frame", 1e3 * base.MemEnergy.Burst / frames, 1e3 * race.MemEnergy.Burst / frames},
+		{"actpre-mJ/frame", 1e3 * float64(base.MemEnergy.ActPre) / frames, 1e3 * float64(race.MemEnergy.ActPre) / frames},
+		{"burst-mJ/frame", 1e3 * float64(base.MemEnergy.Burst) / frames, 1e3 * float64(race.MemEnergy.Burst) / frames},
 		{"vd-busy-mJ/frame", 1e3 * base.Energy.Get(energy.CompVDBusy) / frames, 1e3 * race.Energy.Get(energy.CompVDBusy) / frames},
 	}
 	for _, row := range rows {

@@ -84,10 +84,12 @@ const IgnorePrefix = "//lint:ignore"
 
 // ignoreDirective is one parsed `//lint:ignore <check> <reason>` comment.
 type ignoreDirective struct {
-	file   string
-	line   int
+	pos    token.Position
 	checks []string // "all" matches any check
 	reason string
+	// used records whether the directive suppressed at least one raw
+	// diagnostic in this run; StaleIgnore reports the ones that did not.
+	used bool
 }
 
 func (d ignoreDirective) matches(check string) bool {
@@ -102,8 +104,8 @@ func (d ignoreDirective) matches(check string) bool {
 // parseDirectives extracts suppression directives from a file, reporting a
 // framework diagnostic for malformed ones (a directive without a reason is
 // itself a finding: the whole point is the written justification).
-func parseDirectives(fset *token.FileSet, f *ast.File, report func(Diagnostic)) []ignoreDirective {
-	var ds []ignoreDirective
+func parseDirectives(fset *token.FileSet, f *ast.File, report func(Diagnostic)) []*ignoreDirective {
+	var ds []*ignoreDirective
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			if !strings.HasPrefix(c.Text, IgnorePrefix) {
@@ -120,9 +122,8 @@ func parseDirectives(fset *token.FileSet, f *ast.File, report func(Diagnostic)) 
 				})
 				continue
 			}
-			ds = append(ds, ignoreDirective{
-				file:   pos.Filename,
-				line:   pos.Line,
+			ds = append(ds, &ignoreDirective{
+				pos:    pos,
 				checks: strings.Split(fields[0], ","),
 				reason: strings.Join(fields[1:], " "),
 			})
@@ -132,17 +133,21 @@ func parseDirectives(fset *token.FileSet, f *ast.File, report func(Diagnostic)) 
 }
 
 // suppressed reports whether diagnostic d is covered by a directive on the
-// same line or the line immediately above it.
-func suppressed(d Diagnostic, ds []ignoreDirective) bool {
+// same line or the line immediately above it, marking the directive used.
+func suppressed(d Diagnostic, ds []*ignoreDirective) bool {
+	hit := false
 	for _, dir := range ds {
-		if dir.file != d.Pos.Filename || !dir.matches(d.Check) {
+		if dir.pos.Filename != d.Pos.Filename || !dir.matches(d.Check) {
 			continue
 		}
-		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
-			return true
+		if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+			dir.used = true
+			hit = true
+			// Keep scanning: every directive covering this diagnostic is
+			// earning its keep, not just the first.
 		}
 	}
-	return false
+	return hit
 }
 
 // RunAnalyzers applies every analyzer to every package and returns the
@@ -151,7 +156,7 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) [
 	var raw []Diagnostic
 	collect := func(d Diagnostic) { raw = append(raw, d) }
 
-	var directives []ignoreDirective
+	var directives []*ignoreDirective
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			directives = append(directives, parseDirectives(fset, f, collect)...)
@@ -179,6 +184,7 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) [
 			out = append(out, d)
 		}
 	}
+	out = append(out, staleDirectives(directives, analyzers)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -195,14 +201,72 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) [
 	return out
 }
 
+// StaleIgnore flags `//lint:ignore` directives that no longer suppress any
+// finding, so triage notes cannot rot: a fixed finding leaves its ignore
+// behind, and the next reader wastes time believing the violation is still
+// there. The analyzer's Run is empty — the work happens inside
+// RunAnalyzers, which is the only place that sees every directive and
+// every raw (pre-suppression) diagnostic together. A directive naming
+// specific checks is only reported when all of those checks actually ran
+// (a subset `-checks` run says nothing about the others); a directive
+// naming `all` is reported whenever it suppressed nothing. Stale findings
+// bypass suppression — an `//lint:ignore all` comment must not be able to
+// vouch for itself — so the only way to silence one is to delete or
+// re-justify the directive.
+var StaleIgnore = &Analyzer{
+	Name: "staleignore",
+	Doc: "flag lint:ignore directives that suppress no finding of the checks being run " +
+		"(stale triage notes); delete or re-justify them",
+	Run: func(*Pass) {},
+}
+
+// staleDirectives reports the unused directives, provided the staleignore
+// analyzer is among those running.
+func staleDirectives(directives []*ignoreDirective, analyzers []*Analyzer) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	if !ran[StaleIgnore.Name] {
+		return nil
+	}
+	var out []Diagnostic
+	for _, dir := range directives {
+		if dir.used {
+			continue
+		}
+		applicable := true
+		for _, c := range dir.checks {
+			if c != "all" && !ran[c] {
+				applicable = false
+				break
+			}
+		}
+		if !applicable {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:   dir.pos,
+			Check: StaleIgnore.Name,
+			Message: fmt.Sprintf("lint:ignore %s directive suppresses no finding; the violation it excused is gone — delete the directive",
+				strings.Join(dir.checks, ",")),
+		})
+	}
+	return out
+}
+
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
 		UnitSafety,
+		UnitFlow,
+		LedgerCheck,
+		PathCheck,
 		FloatEq,
 		SelfCompare,
 		ErrCheck,
+		StaleIgnore,
 	}
 }
 

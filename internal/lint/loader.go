@@ -232,6 +232,7 @@ func typeCheck(fset *token.FileSet, pkg *Package, imp types.Importer) error {
 		Importer: imp,
 		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
 	}
+	//lint:ignore pathcheck a non-nil err beside a usable package only repeats the soft errors already collected through conf.Error
 	tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, info)
 	if tpkg == nil {
 		return err

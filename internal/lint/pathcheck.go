@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PathCheck is the CFG-path-aware upgrade of ErrCheck: it flags an error
+// variable that is assigned from a call and then, on at least one
+// control-flow path, is overwritten or reaches the function exit without
+// ever being read. ErrCheck only sees the statement-level drop
+// (`f.Close()` as an expression statement); PathCheck sees
+//
+//	err := step1()
+//	if cond {
+//	        err = step2() // first error was never checked
+//	}
+//
+// which per-node inspection cannot. Reads anywhere count — returning the
+// error, comparing it, passing it to a function, wrapping it. Variables
+// captured by a closure are skipped (the closure may read them at any
+// time), as are named result parameters (falling off the end returns
+// them, which is the caller's check).
+var PathCheck = &Analyzer{
+	Name: "pathcheck",
+	Doc: "flag error values that are assigned from a call and then overwritten or " +
+		"dropped at function exit without being read on some control-flow path",
+	Run: runPathCheck,
+}
+
+func runPathCheck(pass *Pass) {
+	funcBodies(pass, func(decl *ast.FuncDecl) {
+		skip := capturedVars(pass, decl.Body)
+		for _, v := range namedResults(pass, decl.Type) {
+			skip[v] = true
+		}
+		checkErrorPaths(pass, decl.Body, skip)
+	})
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				skip := capturedVars(pass, lit.Body)
+				for _, v := range namedResults(pass, lit.Type) {
+					skip[v] = true
+				}
+				checkErrorPaths(pass, lit.Body, skip)
+			}
+			return true
+		})
+	}
+}
+
+func checkErrorPaths(pass *Pass, body *ast.BlockStmt, skip map[*types.Var]bool) {
+	g := buildCFG(pass, body)
+	for _, b := range g.blocks {
+		for j, n := range b.nodes {
+			for _, v := range errorDefs(pass, n) {
+				// Only variables declared inside this body are this body's
+				// responsibility: a closure assigning the enclosing
+				// function's named result (the deferred-recover idiom)
+				// hands the error to the enclosing scope, and package
+				// globals outlive every function.
+				if skip[v] || v.Pos() < body.Pos() || v.Pos() > body.End() {
+					continue
+				}
+				fates := explorePaths(pass, g, b, j+1, v)
+				// The defining node may read the old value (err =
+				// wrap(err)); only the new definition's fate matters.
+				switch {
+				case fates.UnreadRedef != nil:
+					pass.Reportf(n.Pos(), "error assigned to %q is overwritten at line %d without being checked on some path",
+						v.Name(), pass.Fset.Position(fates.UnreadRedef.Pos()).Line)
+				case fates.UnreadExit:
+					pass.Reportf(n.Pos(), "error assigned to %q reaches function exit without being checked on some path", v.Name())
+				}
+			}
+		}
+	}
+}
+
+// errorDefs returns the error-typed local variables that node n defines
+// from a call. Plain resets (err = nil) are not definitions worth
+// tracking: there is nothing to check.
+func errorDefs(pass *Pass, n ast.Node) []*types.Var {
+	a, ok := n.(*ast.AssignStmt)
+	if !ok || (a.Tok != token.ASSIGN && a.Tok != token.DEFINE) {
+		return nil
+	}
+	var defs []*types.Var
+	add := func(lhs ast.Expr) {
+		v := lhsVar(pass, lhs)
+		if v != nil && isErrorType(v.Type()) && !v.IsField() && v.Pkg() != nil {
+			defs = append(defs, v)
+		}
+	}
+	if pairs := assignTargets(a); pairs != nil {
+		for _, p := range pairs {
+			if containsCall(p[1]) {
+				add(p[0])
+			}
+		}
+		return defs
+	}
+	// v, err := f()
+	if len(a.Rhs) == 1 && containsCall(a.Rhs[0]) {
+		for _, lhs := range a.Lhs {
+			add(lhs)
+		}
+	}
+	return defs
+}
+
+func containsCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// namedResults lists a function type's named result variables: reaching
+// the exit assigns them to the caller, which is itself the check.
+func namedResults(pass *Pass, ft *ast.FuncType) []*types.Var {
+	if ft == nil || ft.Results == nil {
+		return nil
+	}
+	var out []*types.Var
+	for _, field := range ft.Results.List {
+		for _, name := range field.Names {
+			if v, ok := pass.Info.ObjectOf(name).(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}

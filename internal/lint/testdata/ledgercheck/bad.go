@@ -1,0 +1,49 @@
+// Corpus: energy-accounting violations. Local copies of the producer and
+// accumulator shapes — the analyzer recognizes producers by their
+// energy-dimensioned result type and accumulators by type name, so these
+// behave exactly like power.Watts.Over and stats.Breakdown.
+package ledgerbad
+
+type Joules float64
+type Watts float64
+type Time int64
+
+func (t Time) Seconds() float64 { return float64(t) / 1e12 }
+
+// Over is the producer: power integrated over a duration.
+func (w Watts) Over(d Time) Joules { return Joules(float64(w) * d.Seconds()) }
+
+// Breakdown is an accumulator sink by type name.
+type Breakdown struct{ m map[string]float64 }
+
+func (b *Breakdown) Add(key string, v float64) { b.m[key] += v }
+
+type ledger struct{ idle float64 }
+
+// The energy was computed and dropped on the floor.
+func dropped(w Watts, d Time) {
+	w.Over(d) // want "result of w\.Over\(d\) carries energy but is discarded"
+}
+
+// One hop later: the second production is bound and no path reads it
+// again. (A := binding with zero reads anywhere would not compile, so the
+// dead store rides on a reassignment.)
+func deadStore(w Watts, d1, d2 Time, b *Breakdown) {
+	e := w.Over(d1)
+	b.Add("mem", float64(e))
+	e = w.Over(d2) // want "energy assigned to \"e\" is never accumulated or read on any path"
+}
+
+// Overwritten before any read: the first production vanishes.
+func overwritten(w Watts, d1, d2 Time, b *Breakdown) {
+	e := w.Over(d1) // want "energy assigned to \"e\" is never accumulated or read on any path"
+	e = w.Over(d2)
+	b.Add("mem", float64(e))
+}
+
+// The same joule lands in two ledgers: double counting.
+func doubleCounted(w Watts, d Time, b *Breakdown, l *ledger) {
+	e := w.Over(d) // want "energy assigned to \"e\" flows into 2 accumulators"
+	b.Add("mem", float64(e))
+	l.idle += float64(e)
+}

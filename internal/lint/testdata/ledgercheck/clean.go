@@ -1,0 +1,61 @@
+// Corpus: accounting shapes that must stay silent — explicit discards,
+// single accumulation, reads that are not sinks, index-owned slots, and
+// conversions (which are rescale boundaries, not producers).
+package ledgerclean
+
+type Joules float64
+type Watts float64
+type Time int64
+
+func (t Time) Seconds() float64    { return float64(t) / 1e12 }
+func (w Watts) Over(d Time) Joules { return Joules(float64(w) * d.Seconds()) }
+
+type Breakdown struct{ m map[string]float64 }
+
+func (b *Breakdown) Add(key string, v float64) { b.m[key] += v }
+
+// The explicit, greppable discard.
+func explicitDiscard(w Watts, d Time) {
+	_ = w.Over(d)
+}
+
+// Exactly one ledger: the invariant satisfied.
+func singleSink(w Watts, d Time, b *Breakdown) {
+	e := w.Over(d)
+	b.Add("decode", float64(e))
+}
+
+// Reads that are not accumulations: returning, comparing, reporting.
+func readsAreNotSinks(w Watts, d Time) Joules {
+	e := w.Over(d)
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// Index-owned slots: each iteration stores into its own element, and the
+// aggregation happens elsewhere, once.
+func indexOwnedSlots(w Watts, durations []Time) []Joules {
+	out := make([]Joules, len(durations))
+	for i, d := range durations {
+		out[i] = w.Over(d)
+	}
+	return out
+}
+
+// Loop accumulation is one sink site however many times it runs.
+func loopAccumulate(w Watts, durations []Time) float64 {
+	var total float64
+	for _, d := range durations {
+		e := w.Over(d)
+		total += float64(e)
+	}
+	return total
+}
+
+// A conversion to the energy type is not a producer call.
+func conversionNotProducer() {
+	j := Joules(5)
+	_ = j
+}

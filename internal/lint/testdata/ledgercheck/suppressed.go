@@ -1,0 +1,14 @@
+// Corpus: a triaged accounting finding with its written justification.
+package ledgersuppressed
+
+type Joules float64
+type Watts float64
+type Time int64
+
+func (t Time) Seconds() float64    { return float64(t) / 1e12 }
+func (w Watts) Over(d Time) Joules { return Joules(float64(w) * d.Seconds()) }
+
+func triaged(w Watts, d Time) {
+	//lint:ignore ledgercheck fixture: pretend a warm-up call whose energy is charged elsewhere
+	w.Over(d)
+}

@@ -1,0 +1,37 @@
+// Corpus: error values that escape checking on at least one control-flow
+// path. These are exactly the shapes per-node errcheck cannot see: the
+// error IS read somewhere, just not on every path that consumes it.
+package pathbad
+
+func mayFail() error        { return nil }
+func parseIt() (int, error) { return 0, nil }
+func observe(err error)     { _ = err }
+
+// The branch overwrites the first error before anything read it.
+func overwrittenOnBranch(cond bool) error {
+	err := mayFail() // want "error assigned to \"err\" is overwritten at line \d+ without being checked on some path"
+	if cond {
+		err = mayFail()
+	}
+	return err
+}
+
+// The error is only inspected on one side of the branch; the other side
+// carries it silently to the exit.
+func droppedOnExit(cond bool) int {
+	err := mayFail() // want "error assigned to \"err\" reaches function exit without being checked on some path"
+	if cond {
+		observe(err)
+	}
+	return 0
+}
+
+// Multi-value definition: the second parse clobbers the first error.
+func multiValueClobber() int {
+	v, err := parseIt() // want "error assigned to \"err\" is overwritten at line \d+ without being checked on some path"
+	w, err := parseIt()
+	if err != nil {
+		return 0
+	}
+	return v + w
+}

@@ -1,0 +1,58 @@
+// Corpus: error-handling idioms that must stay silent — every path reads
+// the error before it is lost, or ownership belongs to someone else
+// (named results, closure captures).
+package pathclean
+
+func mayFail() error        { return nil }
+func wrap(err error) error  { return err }
+func recovered(r any) error { return nil }
+
+// The canonical check: the condition reads err on every path.
+func checked() error {
+	err := mayFail()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// The if-init idiom: defined and read in the same header.
+func ifInit() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Named results are returned by falling off the end; the caller checks.
+func namedResult() (err error) {
+	err = mayFail()
+	return
+}
+
+// The deferred-recover idiom assigns the ENCLOSING function's result from
+// inside a closure; neither scope should be flagged.
+func deferredRecover() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = recovered(r)
+		}
+	}()
+	return nil
+}
+
+// Rewrapping reads the old value at the redefinition itself.
+func rewrapped() error {
+	err := mayFail()
+	err = wrap(err)
+	return err
+}
+
+// A panicking path still reads the error before control leaves.
+func panics(cond bool) error {
+	err := mayFail()
+	if cond {
+		panic(err)
+	}
+	return err
+}

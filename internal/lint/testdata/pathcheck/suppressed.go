@@ -1,0 +1,13 @@
+// Corpus: a triaged path finding with its written justification.
+package pathsuppressed
+
+func mayFail() error { return nil }
+
+func triaged(cond bool) error {
+	//lint:ignore pathcheck fixture: pretend the first error is advisory and superseding it is the design
+	err := mayFail()
+	if cond {
+		err = mayFail()
+	}
+	return err
+}

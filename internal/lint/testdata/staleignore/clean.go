@@ -1,0 +1,11 @@
+// Corpus: directives that must NOT be reported stale. A directive naming
+// a check that did not run in this invocation cannot be judged — the
+// finding it excuses may well exist when the full suite runs.
+package staleignoreclean
+
+type Joules float64
+
+func checkDidNotRun(a, b Joules) Joules {
+	//lint:ignore determinism fixture: determinism is not part of this run, so no verdict
+	return a + b
+}

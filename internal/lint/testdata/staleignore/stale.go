@@ -1,0 +1,12 @@
+// Corpus: suppression directives that no longer excuse anything. The
+// violation they covered was fixed, but the directive stayed behind —
+// silently disabling the check for whatever lands on that line next.
+package staleignore
+
+type Joules float64
+
+// The code below this directive is clean, so the directive is dead.
+func fixedLongAgo(a, b Joules) Joules {
+	//lint:ignore all fixture: the mixed-unit sum this excused was fixed // want "suppresses no finding"
+	return a + b
+}

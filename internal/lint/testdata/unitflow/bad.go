@@ -1,0 +1,52 @@
+// Corpus: flow-sensitive unit violations. The unit types are declared
+// locally because golden files type-check standalone; the analyzer's
+// dimension table is keyed by type name, so these carry the same
+// dimensions as the real energy/power/sim types.
+package unitflowbad
+
+type Joules float64
+type Picojoules float64
+type Watts float64
+type Time int64
+
+func (t Time) Seconds() float64 { return float64(t) / 1e12 }
+
+// The compiler cannot see this: both operands are plain float64 by the
+// time they meet, but their dimensions were set blocks earlier.
+func convertedLocalsConflict(j Joules, w Watts) float64 {
+	e := float64(j)
+	p := float64(w)
+	return e + p // want "mixes e \(energy \(J\)\) with p \(power \(W\)\)"
+}
+
+// Same dimension at different scales is the classic silent-1e12x slip.
+func scaleConflict(j Joules, p Picojoules) float64 {
+	a := float64(j)
+	b := float64(p)
+	return a - b // want "mixes a \(energy \(J\)\) with b \(energy \(pJ\)\)"
+}
+
+// The fact survives a join when every incoming path agrees on it.
+func joinKeepsAgreedFact(j1, j2 Joules, t Time, cond bool) bool {
+	var x float64
+	if cond {
+		x = float64(j1)
+	} else {
+		x = float64(j2)
+	}
+	return x > float64(t) // want "mixes x \(energy \(J\)\) with float64\(t\) \(time \(ps\)\)"
+}
+
+// Compound additive assignment keeps the target's dimension.
+func compoundConflict(j Joules, w Watts) float64 {
+	acc := float64(j)
+	acc += float64(w) // want "mixes acc \(energy \(J\)\) with float64\(w\) \(power \(W\)\)"
+	return acc
+}
+
+// The suffix heuristic stays as the fallback for untyped locals and
+// conflicts with typed dimensions.
+func suffixMeetsType(j Joules) float64 {
+	energyPJ := 42.0
+	return energyPJ + float64(j) // want "mixes energyPJ \(energy \(pJ\)\) with float64\(j\) \(energy \(J\)\)"
+}

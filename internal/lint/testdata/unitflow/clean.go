@@ -1,0 +1,54 @@
+// Corpus: known false-positive shapes that must stay silent — explicit
+// unit-type conversions, multiply/divide dimension changes, disagreeing
+// joins, and dimension-killing updates.
+package unitflowclean
+
+type Joules float64
+type Picojoules float64
+type Watts float64
+type Time int64
+
+func (t Time) Seconds() float64     { return float64(t) / 1e12 }
+func (p Picojoules) Joules() Joules { return Joules(float64(p) * 1e-12) }
+
+// Same typed dimension: adding joules to joules is the whole point.
+func sameDim(a, b Joules) Joules { return a + b }
+
+// A conversion to a unit type asserts the result's dimension: the
+// sanctioned rescale boundary.
+func rescale(p Picojoules) Joules {
+	return p.Joules() + Joules(float64(p)*1e-12)
+}
+
+// Multiplication and division legitimately change dimension.
+func product(w Watts, t Time) float64 {
+	e := float64(w) * t.Seconds() // power x time: fine
+	ratio := e / float64(w)       // and back out again: fine
+	return ratio
+}
+
+// When the paths disagree, the join forgets the fact — no guessing.
+func joinDisagrees(j Joules, w Watts, cond bool) float64 {
+	var x float64
+	if cond {
+		x = float64(j)
+	} else {
+		x = float64(w)
+	}
+	return x + float64(j) // x has no agreed dimension: silent
+}
+
+// A scaling update changes the value's meaning; the fact is dropped.
+func killedByScaling(j1, j2 Joules) float64 {
+	x := float64(j1)
+	x *= 0.5 // still energy in truth, but the analyzer stays conservative
+	frames := 25.0
+	perFrame := x / frames
+	return perFrame + float64(j2) // perFrame went through /: silent
+}
+
+// Literals and untracked values are dimensionless.
+func literals(j Joules) float64 {
+	e := float64(j)
+	return e + 1.0
+}

@@ -1,0 +1,13 @@
+// Corpus: a triaged violation carrying its written justification produces
+// no surviving diagnostic.
+package unitflowsuppressed
+
+type Joules float64
+type Watts float64
+
+func triaged(j Joules, w Watts) float64 {
+	e := float64(j)
+	p := float64(w)
+	//lint:ignore unitflow fixture: pretend this is a triaged legacy formula
+	return e + p
+}

@@ -13,6 +13,7 @@ package power
 import (
 	"fmt"
 
+	"mach/internal/energy"
 	"mach/internal/sim"
 )
 
@@ -44,15 +45,15 @@ func (s State) String() string {
 
 // Config holds the sleep-state parameters.
 type Config struct {
-	IdlePower float64 // W, in P-state but not processing (short slack)
-	S1Power   float64 // W
-	S3Power   float64 // W
+	IdlePower Watts // in P-state but not processing (short slack)
+	S1Power   Watts
+	S3Power   Watts
 
 	// Round-trip transition costs (enter + exit).
 	S1Transition       sim.Time
 	S3Transition       sim.Time
-	S1TransitionEnergy float64 // J per round trip
-	S3TransitionEnergy float64 // J per round trip
+	S1TransitionEnergy energy.Joules // per round trip
+	S3TransitionEnergy energy.Joules // per round trip
 }
 
 // DefaultConfig returns parameters matching the paper: 0.8/1.6 ms
@@ -85,7 +86,7 @@ func (c Config) Validate() error {
 	return nil
 }
 
-func (c Config) statePower(s State) float64 {
+func (c Config) statePower(s State) Watts {
 	switch s {
 	case S1:
 		return c.S1Power
@@ -96,7 +97,7 @@ func (c Config) statePower(s State) float64 {
 	}
 }
 
-func (c Config) transition(s State) (sim.Time, float64) {
+func (c Config) transition(s State) (sim.Time, energy.Joules) {
 	switch s {
 	case S1:
 		return c.S1Transition, c.S1TransitionEnergy
@@ -117,8 +118,8 @@ func (c Config) BreakEven(s State) sim.Time {
 	}
 	ps := c.statePower(s)
 	// Solve Etr + Ps*(t - tr) < Pidle * t  for t.
-	denom := c.IdlePower - ps
-	t := sim.FromSeconds((etr - ps*tr.Seconds()) / denom)
+	denom := float64(c.IdlePower - ps)
+	t := sim.FromSeconds((float64(etr) - float64(ps)*tr.Seconds()) / denom)
 	if t < tr {
 		t = tr
 	}
@@ -146,10 +147,10 @@ type Ledger struct {
 	S3Time         sim.Time
 	TransitionTime sim.Time
 
-	IdleEnergy  float64
-	S1Energy    float64
-	S3Energy    float64
-	TransEnergy float64
+	IdleEnergy  energy.Joules
+	S1Energy    energy.Joules
+	S3Energy    energy.Joules
+	TransEnergy energy.Joules
 
 	Transitions int64 // number of sleep round trips taken
 }
@@ -184,7 +185,7 @@ func (l *Ledger) SpendIn(slack sim.Time, s State) {
 	tr, etr := l.cfg.transition(s)
 	if s == Idle || slack < tr {
 		l.IdleTime += slack
-		l.IdleEnergy += l.cfg.IdlePower * slack.Seconds()
+		l.IdleEnergy += l.cfg.IdlePower.Over(slack)
 		return
 	}
 	l.Transitions++
@@ -194,10 +195,10 @@ func (l *Ledger) SpendIn(slack sim.Time, s State) {
 	switch s {
 	case S1:
 		l.S1Time += rest
-		l.S1Energy += l.cfg.S1Power * rest.Seconds()
+		l.S1Energy += l.cfg.S1Power.Over(rest)
 	case S3:
 		l.S3Time += rest
-		l.S3Energy += l.cfg.S3Power * rest.Seconds()
+		l.S3Energy += l.cfg.S3Power.Over(rest)
 	}
 }
 
@@ -213,6 +214,6 @@ func (l *Ledger) TotalTime() sim.Time {
 }
 
 // TotalEnergy returns all accounted slack energy in joules.
-func (l *Ledger) TotalEnergy() float64 {
+func (l *Ledger) TotalEnergy() energy.Joules {
 	return l.IdleEnergy + l.S1Energy + l.S3Energy + l.TransEnergy
 }

@@ -51,16 +51,16 @@ func TestBreakEvenIsActuallyBreakEven(t *testing.T) {
 	c := DefaultConfig()
 	for _, s := range []State{S1, S3} {
 		be := c.BreakEven(s)
-		idleCost := c.IdlePower * be.Seconds()
+		idleCost := float64(c.IdlePower) * be.Seconds()
 		tr, etr := c.transition(s)
-		sleepCost := etr + c.statePower(s)*(be-tr).Seconds()
+		sleepCost := float64(etr) + float64(c.statePower(s))*(be-tr).Seconds()
 		if sleepCost > idleCost*(1+1e-9) {
 			t.Errorf("%v: sleep %g > idle %g at break-even", s, sleepCost, idleCost)
 		}
 		below := sim.Time(float64(be) * 0.99)
 		if below >= tr {
-			idleCost = c.IdlePower * below.Seconds()
-			sleepCost = etr + c.statePower(s)*(below-tr).Seconds()
+			idleCost = float64(c.IdlePower) * below.Seconds()
+			sleepCost = float64(etr) + float64(c.statePower(s))*(below-tr).Seconds()
 			if sleepCost < idleCost {
 				t.Errorf("%v: sleeping should not win below break-even", s)
 			}
@@ -92,8 +92,8 @@ func TestLedgerSpend(t *testing.T) {
 	if l.IdleTime != sim.FromMilliseconds(1) || l.Transitions != 0 {
 		t.Fatalf("idle spend: %+v", l)
 	}
-	wantIdleE := c.IdlePower * 0.001
-	if d := l.IdleEnergy - wantIdleE; d > 1e-12 || d < -1e-12 {
+	wantIdleE := float64(c.IdlePower) * 0.001
+	if d := float64(l.IdleEnergy) - wantIdleE; d > 1e-12 || d < -1e-12 {
 		t.Fatalf("idle energy = %g want %g", l.IdleEnergy, wantIdleE)
 	}
 

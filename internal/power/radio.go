@@ -3,6 +3,7 @@ package power
 import (
 	"fmt"
 
+	"mach/internal/energy"
 	"mach/internal/sim"
 )
 
@@ -14,9 +15,9 @@ import (
 // once the tail expires. Burst-downloading whole segments amortizes the tail
 // across many frames exactly as decode batching amortizes the S3 transition.
 type RadioConfig struct {
-	ActivePower float64 // W while transferring
-	TailPower   float64 // W in the post-transfer high-power tail
-	SleepPower  float64 // W in deep idle
+	ActivePower Watts // while transferring
+	TailPower   Watts // in the post-transfer high-power tail
+	SleepPower  Watts // in deep idle
 
 	// TailTime is how long the radio dwells in the tail after activity
 	// before demoting to sleep.
@@ -25,7 +26,7 @@ type RadioConfig struct {
 	// gap that precedes a transfer, not added to transfer time).
 	WakeLatency sim.Time
 	// WakeEnergy is the energy of one sleep->active promotion.
-	WakeEnergy float64
+	WakeEnergy energy.Joules
 }
 
 // DefaultRadio returns an LTE-class modem: ~1 W moving bits, a 0.6 W tail
@@ -62,14 +63,14 @@ type RadioStats struct {
 	SleepTime  sim.Time
 	Wakeups    int64
 
-	ActiveEnergy float64
-	TailEnergy   float64
-	SleepEnergy  float64
-	WakeEnergy   float64
+	ActiveEnergy energy.Joules
+	TailEnergy   energy.Joules
+	SleepEnergy  energy.Joules
+	WakeEnergy   energy.Joules
 }
 
 // TotalEnergy returns the radio's total energy in joules.
-func (s RadioStats) TotalEnergy() float64 {
+func (s RadioStats) TotalEnergy() energy.Joules {
 	return s.ActiveEnergy + s.TailEnergy + s.SleepEnergy + s.WakeEnergy
 }
 
@@ -99,7 +100,7 @@ func (l *RadioLedger) Config() RadioConfig { return l.cfg }
 func (l *RadioLedger) Stats() RadioStats { return l.stats }
 
 // TotalEnergy returns the radio's total energy so far, in joules.
-func (l *RadioLedger) TotalEnergy() float64 { return l.stats.TotalEnergy() }
+func (l *RadioLedger) TotalEnergy() energy.Joules { return l.stats.TotalEnergy() }
 
 // idle accounts the gap [l.cursor, upTo) with no transfer: tail until the
 // inactivity timer expires, then sleep.
@@ -114,7 +115,7 @@ func (l *RadioLedger) idle(upTo sim.Time) {
 			tail = l.cfg.TailTime
 		}
 		l.stats.TailTime += tail
-		l.stats.TailEnergy += l.cfg.TailPower * tail.Seconds()
+		l.stats.TailEnergy += l.cfg.TailPower.Over(tail)
 		gap -= tail
 		if gap > 0 {
 			l.awake = false
@@ -122,7 +123,7 @@ func (l *RadioLedger) idle(upTo sim.Time) {
 	}
 	if gap > 0 {
 		l.stats.SleepTime += gap
-		l.stats.SleepEnergy += l.cfg.SleepPower * gap.Seconds()
+		l.stats.SleepEnergy += l.cfg.SleepPower.Over(gap)
 	}
 	l.cursor = upTo
 }
@@ -145,7 +146,7 @@ func (l *RadioLedger) Transfer(from, to sim.Time) {
 	}
 	from = l.cursor
 	l.stats.ActiveTime += to - from
-	l.stats.ActiveEnergy += l.cfg.ActivePower * (to - from).Seconds()
+	l.stats.ActiveEnergy += l.cfg.ActivePower.Over(to - from)
 	l.cursor = to
 }
 

@@ -74,11 +74,11 @@ func TestRadioLedgerAccounting(t *testing.T) {
 	if span != 2*sim.Second {
 		t.Fatalf("residency sums to %v, want 2s", span)
 	}
-	wantEnergy := cfg.ActivePower*st.ActiveTime.Seconds() +
-		cfg.TailPower*st.TailTime.Seconds() +
-		cfg.SleepPower*st.SleepTime.Seconds() +
-		float64(st.Wakeups)*cfg.WakeEnergy
-	if math.Abs(st.TotalEnergy()-wantEnergy) > 1e-12 {
+	wantEnergy := float64(cfg.ActivePower)*st.ActiveTime.Seconds() +
+		float64(cfg.TailPower)*st.TailTime.Seconds() +
+		float64(cfg.SleepPower)*st.SleepTime.Seconds() +
+		float64(st.Wakeups)*float64(cfg.WakeEnergy)
+	if math.Abs(float64(st.TotalEnergy())-wantEnergy) > 1e-12 {
 		t.Fatalf("total energy %g, want %g", st.TotalEnergy(), wantEnergy)
 	}
 }

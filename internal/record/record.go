@@ -17,16 +17,18 @@ import (
 	"mach/internal/cache"
 	"mach/internal/codec"
 	"mach/internal/dram"
+	"mach/internal/energy"
 	"mach/internal/framebuf"
 	"mach/internal/mach"
+	"mach/internal/power"
 	"mach/internal/sim"
 	"mach/internal/video"
 )
 
 // Config describes the recording platform.
 type Config struct {
-	// CameraPower is drawn while a frame streams in (W).
-	CameraPower float64
+	// CameraPower is drawn while a frame streams in.
+	CameraPower power.Watts
 	// FPS is the capture rate.
 	FPS int
 
@@ -34,11 +36,11 @@ type Config struct {
 	// costs. Motion estimation dominates encoders, so its cost scales
 	// with the search window.
 	EncoderFreq  sim.Hertz
-	EncoderPower float64
+	EncoderPower power.Watts
 
-	CyclesPerMabBase   int64
-	CyclesPerSearchPos int64 // per motion-search candidate evaluated
-	CyclesPerBit       float64
+	CyclesPerMabBase   sim.Cycles
+	CyclesPerSearchPos sim.Cycles // per motion-search candidate evaluated
+	CyclesPerBit       float64    // cycles per bitstream bit
 
 	// Encoder-side read cache (reference + input fetches).
 	CacheBytes int
@@ -101,13 +103,13 @@ type Result struct {
 	MemEnergy dram.Energy
 	Mach      mach.Stats
 
-	CameraEnergy  float64
-	EncoderEnergy float64
+	CameraEnergy  energy.Joules
+	EncoderEnergy energy.Joules
 	WallTime      sim.Time
 }
 
 // TotalEnergy returns camera + encoder + memory energy in joules.
-func (r *Result) TotalEnergy() float64 {
+func (r *Result) TotalEnergy() energy.Joules {
 	return r.CameraEnergy + r.EncoderEnergy + r.MemEnergy.Total()
 }
 
@@ -159,7 +161,7 @@ func Run(cfg Config, profileKey string, w, h, numFrames int, seed int64) (*Resul
 	res := &Result{Frames: numFrames}
 
 	var now sim.Time
-	searchPositions := int64((2*params.SearchRadius + 1) * (2*params.SearchRadius + 1))
+	searchPositions := sim.Cycles((2*params.SearchRadius + 1) * (2*params.SearchRadius + 1))
 
 	for i := 0; i < numFrames; i++ {
 		frameStart := sim.Time(int64(period) * int64(i))
@@ -179,7 +181,7 @@ func Run(cfg Config, profileKey string, w, h, numFrames int, seed int64) (*Resul
 			writes++
 		})
 		res.CameraLineWrites += writes
-		res.CameraEnergy += cfg.CameraPower * period.Seconds()
+		res.CameraEnergy += cfg.CameraPower.Over(period)
 
 		// Encoder: reads the frame back through the layout (pointer
 		// indirection resolved with the encoder's cached reads), runs
@@ -193,7 +195,7 @@ func Run(cfg Config, profileKey string, w, h, numFrames int, seed int64) (*Resul
 			bits += int64(len(ef.Data)) * 8
 		}
 
-		var cycles int64
+		var cycles sim.Cycles
 		readAt := now
 		for idx, rec := range layout.Records {
 			cycles += cfg.CyclesPerMabBase + cfg.CyclesPerSearchPos*searchPositions
@@ -210,9 +212,9 @@ func Run(cfg Config, profileKey string, w, h, numFrames int, seed int64) (*Resul
 				}
 			}
 		}
-		cycles += int64(cfg.CyclesPerBit * float64(bits))
+		cycles += sim.Cycles(cfg.CyclesPerBit * float64(bits))
 		encTime := cfg.EncoderFreq.Cycles(cycles)
-		res.EncoderEnergy += cfg.EncoderPower * encTime.Seconds()
+		res.EncoderEnergy += cfg.EncoderPower.Over(encTime)
 
 		// Bitstream writeback.
 		bitBytes := uint64((bits + 7) / 8)

@@ -57,7 +57,7 @@ func TestHertzPeriod(t *testing.T) {
 
 func TestHertzCyclesRoundTrip(t *testing.T) {
 	f := func(cycles uint16) bool {
-		n := int64(cycles)
+		n := Cycles(cycles)
 		d := (200 * MHz).Cycles(n)
 		back := (200 * MHz).CyclesIn(d)
 		// Integer truncation may lose at most one cycle.

@@ -27,6 +27,21 @@ const (
 // Forever is a sentinel placed safely beyond any reachable simulation time.
 const Forever Time = 1 << 62
 
+// Nanoseconds is a duration expressed in floating-point nanoseconds — the
+// scale DRAM timing parameters and calibration constants are quoted in.
+// It is a named unit type (see DESIGN.md "machlint v2: unit types"): the
+// unitflow analyzer propagates its dimension through assignments and calls,
+// and cross-dimension arithmetic fails to compile.
+type Nanoseconds float64
+
+// Time converts ns to the engine's picosecond clock.
+func (ns Nanoseconds) Time() Time { return FromNanoseconds(ns) }
+
+// Cycles is a clock-cycle count: the decoder's cost model and frequency
+// conversions are expressed in it. Cycles are dimensionless work units, not
+// time — only Hertz.Cycles converts them to Time.
+type Cycles int64
+
 // Seconds converts t to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
@@ -34,7 +49,7 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
 
 // Nanoseconds converts t to floating-point nanoseconds.
-func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+func (t Time) Nanoseconds() Nanoseconds { return Nanoseconds(float64(t) / float64(Nanosecond)) }
 
 // FromSeconds builds a Time from floating-point seconds.
 func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
@@ -43,7 +58,7 @@ func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 func FromMilliseconds(ms float64) Time { return Time(ms * float64(Millisecond)) }
 
 // FromNanoseconds builds a Time from floating-point nanoseconds.
-func FromNanoseconds(ns float64) Time { return Time(ns * float64(Nanosecond)) }
+func FromNanoseconds(ns Nanoseconds) Time { return Time(float64(ns) * float64(Nanosecond)) }
 
 func (t Time) String() string {
 	switch {
@@ -77,7 +92,7 @@ func (f Hertz) Period() Time {
 }
 
 // Cycles returns the duration of n clock cycles at frequency f.
-func (f Hertz) Cycles(n int64) Time {
+func (f Hertz) Cycles(n Cycles) Time {
 	if f <= 0 {
 		return Forever
 	}
@@ -85,9 +100,9 @@ func (f Hertz) Cycles(n int64) Time {
 }
 
 // CyclesIn reports how many whole cycles at frequency f fit in d.
-func (f Hertz) CyclesIn(d Time) int64 {
+func (f Hertz) CyclesIn(d Time) Cycles {
 	if d <= 0 {
 		return 0
 	}
-	return int64(float64(d) * float64(f) / float64(Second))
+	return Cycles(float64(d) * float64(f) / float64(Second))
 }

@@ -14,11 +14,25 @@ import (
 	"mach/internal/sim"
 )
 
+// BytesPerSecond is an average bandwidth. A named unit type (DESIGN.md
+// "machlint v2: unit types"): bandwidths cannot be added to byte counts or
+// durations without an explicit conversion.
+type BytesPerSecond float64
+
+// MHz is the megahertz scale board files and datasheets quote SoC clocks
+// in. It is deliberately a distinct type from sim.Hertz: same dimension at
+// a different scale is exactly the silent 1e6x slip the unit checks exist
+// for, so crossing the scale requires the explicit conversion below.
+type MHz float64
+
+// Hertz converts the board-file scale to the engine's canonical frequency.
+func (f MHz) Hertz() sim.Hertz { return sim.Hertz(float64(f) * 1e6) }
+
 // TrafficConfig shapes the background stream.
 type TrafficConfig struct {
 	// BytesPerSecond is the average background bandwidth. Zero disables
 	// the generator.
-	BytesPerSecond float64
+	BytesPerSecond BytesPerSecond
 	// ReadFraction of accesses are reads (the rest are writes).
 	ReadFraction float64
 	// BurstLines is how many consecutive lines one request burst covers.
@@ -103,9 +117,9 @@ func (g *Generator) Emit(mem *dram.Memory, from, to sim.Time) {
 	if g == nil || g.cfg.BytesPerSecond == 0 || to <= from {
 		return
 	}
-	lineBytes := mem.Config().LineBytes
+	lineBytes := uint64(mem.Config().LineBytes)
 	window := (to - from).Seconds()
-	g.debt += g.cfg.BytesPerSecond * window
+	g.debt += float64(g.cfg.BytesPerSecond) * window
 	linesOwed := int(g.debt / float64(lineBytes))
 	if linesOwed <= 0 {
 		return

@@ -1,10 +1,13 @@
 // Tier-1 enforcement of the machlint invariants: `go test ./...` fails if
 // any future change reintroduces wall-clock time or global randomness into
-// the simulation packages, mixes unit-suffixed quantities, compares floats
-// for equality, compares a value with itself, or drops an I/O error in the
-// trace/record/cmd layers. This is the same suite `go run ./cmd/machlint
-// ./...` runs; see internal/lint and the "Determinism & lint invariants"
-// section of DESIGN.md.
+// the simulation packages, mixes unit-suffixed or unit-typed quantities
+// (including flow-sensitively, after the dimension went through float64),
+// drops or double-counts a produced joule, leaves an error unchecked on
+// some control-flow path, compares floats for equality, compares a value
+// with itself, drops an I/O error in the trace/record/cmd layers, or
+// leaves a stale lint:ignore directive behind. This is the same suite
+// `go run ./cmd/machlint ./...` runs; see internal/lint and the
+// "Determinism & lint invariants" / "machlint v2" sections of DESIGN.md.
 package mach
 
 import (
