@@ -6,25 +6,39 @@
 //	machsim -workload V1 -scheme gab -frames 120
 //	machsim -workload V8 -all -frames 240 -width 640 -height 360
 //	machsim -workload V3 -scheme rts -net flaky -stall-rate 0.2 -net-seed 7
+//	machsim -workload V1 -frames 2000 -checkpoint run.mckp -checkpoint-every 64
+//	machsim -workload V1 -frames 2000 -checkpoint run.mckp -resume
 //
-// Exit codes: 0 success, 1 model/runtime error, 2 invalid usage (bad flag
-// values such as a width that is not a multiple of the mab size, an unknown
-// workload/scheme key, or an unknown network profile).
+// Long runs can be made crash-safe with -checkpoint: the run state is
+// written atomically every -checkpoint-every frames and once more on
+// SIGINT/SIGTERM, and -resume continues from the file to a bit-identical
+// result (missing file = fresh start; damaged file = hard error).
+//
+// Exit codes: 0 success, 1 model/runtime error (including a corrupt
+// checkpoint), 2 invalid usage (bad flag values such as a width that is not
+// a multiple of the mab size, an unknown workload/scheme key, or an unknown
+// network profile), 3 interrupted by SIGINT/SIGTERM with a final checkpoint
+// flushed — rerun with -resume to continue.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"mach"
 	"mach/internal/stats"
 )
 
 const (
-	exitErr   = 1
-	exitUsage = 2
+	exitErr         = 1
+	exitUsage       = 2
+	exitInterrupted = 3
 )
 
 func main() {
@@ -39,6 +53,11 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload generator seed")
 		parallel = flag.Int("parallel", 0, "worker count for the deterministic parallel engine (0/1 = sequential; results are bit-identical at any width)")
 		verbose  = flag.Bool("v", false, "print the full per-run breakdown")
+
+		ckptPath  = flag.String("checkpoint", "", "checkpoint file: written atomically every -checkpoint-every frames and on SIGINT/SIGTERM, removed on success (single-scheme runs only)")
+		ckptEvery = flag.Int("checkpoint-every", 32, "frames between periodic checkpoints (with -checkpoint)")
+		resume    = flag.Bool("resume", false, "resume from -checkpoint; a missing file starts fresh, a damaged one is a hard error")
+		canonical = flag.Bool("canonical", false, "print the canonical JSON result instead of the report (stable across runs; used to prove resume equivalence)")
 
 		net       = flag.String("net", "", "network profile enabling the delivery fault model: lte|wifi|3g|flaky (empty = perfect network)")
 		bandwidth = flag.Float64("bandwidth", 0, "override link bandwidth in Mbit/s (requires -net)")
@@ -100,6 +119,16 @@ func main() {
 		usage("-bandwidth/-stall-rate/-loss-rate/-net-seed need -net to select a profile")
 	}
 
+	if *all && (*ckptPath != "" || *resume || *canonical) {
+		usage("-checkpoint/-resume/-canonical apply to a single-scheme run, not -all")
+	}
+	if *resume && *ckptPath == "" {
+		usage("-resume needs -checkpoint to name the file")
+	}
+	if *ckptEvery < 1 {
+		usage("-checkpoint-every %d: want a positive frame interval", *ckptEvery)
+	}
+
 	// Resolve the scheme before synthesis so a typo fails fast.
 	var s mach.Scheme
 	if !*all {
@@ -152,9 +181,75 @@ func main() {
 		return
 	}
 
-	r, err := mach.Run(tr, s, cfg)
+	// Single-scheme path: drive the step machine directly so the run can be
+	// checkpointed, interrupted, and resumed.
+	var runner *mach.Runner
+	if *resume {
+		runner, err = mach.LoadCheckpoint(*ckptPath, tr, s, cfg)
+		switch {
+		case err == nil:
+			fmt.Fprintf(os.Stderr, "machsim: resumed %s from frame %d/%d\n",
+				*ckptPath, runner.Frame(), len(tr.Frames))
+		case errors.Is(err, fs.ErrNotExist):
+			fmt.Fprintf(os.Stderr, "machsim: no checkpoint at %s, starting fresh\n", *ckptPath)
+			runner = nil
+		default:
+			fatal(err)
+		}
+	}
+	if runner == nil {
+		if runner, err = mach.NewRunner(tr, s, cfg); err != nil {
+			fatal(err)
+		}
+	}
+
+	// With checkpointing on, SIGINT/SIGTERM means "flush state and hand the
+	// terminal back": the signal is checked at the next frame boundary, a
+	// final checkpoint is written, and the process exits with a code the
+	// harness can tell apart from success and failure.
+	sigc := make(chan os.Signal, 1)
+	if *ckptPath != "" {
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	}
+	for !runner.Done() {
+		select {
+		case sig := <-sigc:
+			if err := runner.SaveCheckpoint(*ckptPath); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "machsim: %v at frame %d/%d; checkpoint written to %s (resume with -resume)\n",
+				sig, runner.Frame(), len(tr.Frames), *ckptPath)
+			os.Exit(exitInterrupted)
+		default:
+		}
+		runner.StepFrame()
+		if *ckptPath != "" && runner.Frame()%*ckptEvery == 0 {
+			if err := runner.SaveCheckpoint(*ckptPath); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	r, err := runner.Finish()
 	if err != nil {
 		fatal(err)
+	}
+	if *ckptPath != "" {
+		signal.Stop(sigc)
+		// The run completed; a stale checkpoint would only invite resuming
+		// a finished run.
+		if err := os.Remove(*ckptPath); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			fatal(err)
+		}
+	}
+	if *canonical {
+		b, err := r.CanonicalJSON()
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := os.Stdout.Write(b); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	fmt.Print(r)
 	_ = verbose

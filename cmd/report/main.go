@@ -5,16 +5,29 @@
 //	report -exp fig11       # one experiment
 //	report -quick           # reduced scale smoke run
 //	report -frames 240 -width 640 -height 360 -videos 16
+//	report -checkpoint-dir .report-ckpt   # crash-safe full regeneration
+//
+// With -checkpoint-dir, each completed experiment's rendered table is saved
+// (atomically, checksummed, keyed by experiment id + the full scale/config)
+// as soon as it finishes; rerunning after an interruption loads the finished
+// cells from the cache and only computes what is missing. A damaged or
+// mismatched cell is re-run fresh, never trusted.
 package main
 
 import (
+	"crypto/md5"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
+	"mach/internal/checkpoint"
 	"mach/internal/experiments"
 	"mach/internal/stats"
 )
@@ -29,6 +42,7 @@ func main() {
 		nvids    = flag.Int("videos", 0, "override number of workloads")
 		workers  = flag.Int("workers", 0, "sweep fan-out width: independent cells of multi-run experiments share a bounded pool (0 = GOMAXPROCS)")
 		parallel = flag.Int("parallel", 0, "per-run deterministic parallel engine width (0/1 = sequential; bit-identical at any width)")
+		ckptDir  = flag.String("checkpoint-dir", "", "directory caching completed experiments; rerunning skips cells already finished at this exact configuration")
 	)
 	flag.Parse()
 
@@ -95,6 +109,18 @@ func main() {
 		{"netprofiles", "Fault injection: GAB across link profiles", r.DeliveryProfiles},
 	}
 
+	// Each cached cell is fingerprinted with the experiment id plus the
+	// full experiment configuration, so changing any scale knob silently
+	// invalidates every cell instead of serving stale tables.
+	cellFP := func(name string) checkpoint.Fingerprint {
+		cfgJSON, err := json.Marshal(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: config fingerprint: %v\n", err)
+			os.Exit(1)
+		}
+		return checkpoint.Fingerprint(md5.Sum(append(cfgJSON, name...)))
+	}
+
 	want := strings.ToLower(*exp)
 	matched, failed := 0, 0
 	for _, e := range all {
@@ -102,6 +128,21 @@ func main() {
 			continue
 		}
 		matched++
+
+		cellPath := ""
+		if *ckptDir != "" {
+			cellPath = filepath.Join(*ckptDir, e.name+".mckp")
+			rendered, err := checkpoint.Load(cellPath, cellFP(e.name))
+			if err == nil {
+				fmt.Printf("== %s ==\n%s(%s, cached)\n\n", e.title, rendered, e.name)
+				continue
+			}
+			if !errors.Is(err, fs.ErrNotExist) {
+				// Damaged or from a different configuration: recompute.
+				fmt.Fprintf(os.Stderr, "report: %s: ignoring cached cell: %v\n", e.name, err)
+			}
+		}
+
 		start := time.Now()
 		tb, err := runExperiment(e.run)
 		if err != nil {
@@ -113,6 +154,11 @@ func main() {
 			continue
 		}
 		fmt.Printf("== %s ==\n%s(%s, %.1fs)\n\n", e.title, tb, e.name, time.Since(start).Seconds())
+		if cellPath != "" {
+			if err := checkpoint.Save(cellPath, cellFP(e.name), []byte(tb.String())); err != nil {
+				fmt.Fprintf(os.Stderr, "report: %s: saving cell: %v\n", e.name, err)
+			}
+		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "report: %d of %d experiments failed\n", failed, matched)

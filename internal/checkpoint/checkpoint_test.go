@@ -1,0 +1,293 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testFP() Fingerprint {
+	var fp Fingerprint
+	for i := range fp {
+		fp[i] = byte(i * 7)
+	}
+	return fp
+}
+
+func encodeBytes(t *testing.T, fp Fingerprint, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, fp, payload); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	fp := testFP()
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("simstate"), 1000)} {
+		raw := encodeBytes(t, fp, payload)
+		got, err := DecodeBytes(raw, fp)
+		if err != nil {
+			t.Fatalf("DecodeBytes(%d-byte payload): %v", len(payload), err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload mismatch: got %d bytes, want %d", len(got), len(payload))
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	fp := testFP()
+	payload := []byte(`{"frame":42}`)
+	if !bytes.Equal(encodeBytes(t, fp, payload), encodeBytes(t, fp, payload)) {
+		t.Fatal("identical inputs encoded to different bytes")
+	}
+}
+
+func TestFingerprintMismatch(t *testing.T) {
+	raw := encodeBytes(t, testFP(), []byte("payload"))
+	other := testFP()
+	other[0] ^= 0xFF
+	_, err := DecodeBytes(raw, other)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt for fingerprint mismatch, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("error should name the fingerprint: %v", err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	fp := testFP()
+	raw := encodeBytes(t, fp, []byte("a longer payload to truncate"))
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := DecodeBytes(raw[:cut], fp); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d/%d: want ErrCorrupt, got %v", cut, len(raw), err)
+		}
+	}
+}
+
+func TestBitFlips(t *testing.T) {
+	fp := testFP()
+	raw := encodeBytes(t, fp, []byte("bitflip target payload"))
+	for i := range raw {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x01
+		got, err := DecodeBytes(mut, fp)
+		if err == nil {
+			t.Fatalf("bit flip at byte %d went undetected (payload %q)", i, got)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at byte %d: want ErrCorrupt, got %v", i, err)
+		}
+	}
+}
+
+func TestLyingLength(t *testing.T) {
+	fp := testFP()
+	raw := encodeBytes(t, fp, []byte("honest payload"))
+
+	// Header claims more bytes than are present.
+	over := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(over[24:28], uint32(len(raw))) // way past EOF
+	if _, err := DecodeBytes(over, fp); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized length claim: want ErrCorrupt, got %v", err)
+	}
+
+	// Header claims a length beyond the allocation cap.
+	huge := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(huge[24:28], MaxPayload+1)
+	if _, err := DecodeBytes(huge, fp); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("over-cap length claim: want ErrCorrupt, got %v", err)
+	}
+
+	// Header claims fewer bytes: CRC no longer matches the shortened payload.
+	under := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(under[24:28], 3)
+	if _, err := DecodeBytes(under, fp); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("undersized length claim: want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	fp := testFP()
+	raw := encodeBytes(t, fp, []byte("p"))
+
+	bad := append([]byte(nil), raw...)
+	copy(bad[0:4], "NOPE")
+	if _, err := DecodeBytes(bad, fp); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: want ErrCorrupt, got %v", err)
+	}
+
+	v2 := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(v2[4:8], Version+1)
+	if _, err := DecodeBytes(v2, fp); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("future version: want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestEncodeRejectsOversizedPayload(t *testing.T) {
+	// The over-cap slice is never written, so the pages stay untouched; the
+	// guard must fire on len alone before any I/O.
+	var buf bytes.Buffer
+	err := Encode(&buf, testFP(), make([]byte, MaxPayload+1))
+	if err == nil {
+		t.Fatal("Encode accepted an over-cap payload")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("Encode wrote %d bytes before rejecting", buf.Len())
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "run.mckp")
+	fp := testFP()
+	payload := []byte(`{"state":"ok"}`)
+
+	if err := Save(path, fp, payload); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path, fp)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("Load returned %q, want %q", got, payload)
+	}
+
+	// Overwrite is atomic and leaves no temp litter.
+	if err := Save(path, fp, []byte("v2")); err != nil {
+		t.Fatalf("Save overwrite: %v", err)
+	}
+	got, err = Load(path, fp)
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("Load after overwrite: %q, %v", got, err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected only the checkpoint in %s, found %d entries", filepath.Dir(path), len(entries))
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "absent.mckp"), testFP())
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file: want fs.ErrNotExist, got %v", err)
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.mckp")
+	fp := testFP()
+	if err := Save(path, fp, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(path, fp)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt file: want ErrCorrupt, got %v", err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("error should name the file: %v", err)
+	}
+}
+
+// FuzzDecode asserts the container parser never panics and never accepts a
+// mutated container: any input that differs from a valid encoding must fail
+// with ErrCorrupt (or be the rare CRC-colliding equivalent payload).
+func FuzzDecode(f *testing.F) {
+	fp := testFP()
+	var valid bytes.Buffer
+	if err := Encode(&valid, fp, []byte(`{"frame":7,"now":1.25}`)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("MCKP"))
+	f.Add(valid.Bytes()[:headerLen])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := DecodeBytes(data, fp)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-ErrCorrupt failure: %v", err)
+			}
+			return
+		}
+		// Accepted input must re-encode to a prefix-identical container.
+		var re bytes.Buffer
+		if err := Encode(&re, fp, payload); err != nil {
+			t.Fatalf("re-encode of accepted payload failed: %v", err)
+		}
+		if len(data) < re.Len() || !bytes.Equal(data[:re.Len()], re.Bytes()) {
+			t.Fatalf("accepted container does not round-trip")
+		}
+	})
+}
+
+// failWriter fails after n successful writes, standing in for a full disk.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestEncodeWriteErrors(t *testing.T) {
+	payload := []byte(`{"frame":1}`)
+	// Header write fails, then payload write fails.
+	for n := 0; n < 2; n++ {
+		if err := Encode(&failWriter{n: n}, testFP(), payload); err == nil {
+			t.Fatalf("n=%d: want a write error", n)
+		}
+	}
+}
+
+func TestSaveDirIsAFile(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The destination's parent is a regular file: MkdirAll must fail and
+	// Save must surface it.
+	if err := Save(filepath.Join(blocker, "ck.mckp"), testFP(), []byte("p")); err == nil {
+		t.Fatal("want an error when the parent directory is a file")
+	}
+}
+
+func TestSaveEncodeFailureLeavesNoLitter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.mckp")
+	// Oversized payload: Encode rejects before writing, Save must clean up
+	// its temp file and leave the destination absent.
+	if err := Save(path, testFP(), make([]byte, MaxPayload+1)); err == nil {
+		t.Fatal("want the oversized-payload error")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("failed Save left %d file(s) behind: %v", len(entries), entries)
+	}
+}

@@ -127,13 +127,6 @@ func ZigZag(n int) []int {
 	return order
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // EncodeCoeffs writes the quantized NxN coefficient block as zig-zag-ordered
 // (run, level) pairs with Exp-Golomb codes, terminated by an end-of-block
 // marker, and returns the number of nonzero levels written.

@@ -1,23 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"sort"
-
-	"mach/internal/codec"
-	"mach/internal/soc"
-
-	"mach/internal/decoder"
-	"mach/internal/delivery"
-	"mach/internal/display"
-	"mach/internal/dram"
-	"mach/internal/energy"
-	"mach/internal/framebuf"
-	"mach/internal/mach"
-	"mach/internal/par"
-	"mach/internal/power"
-	"mach/internal/sim"
-	"mach/internal/stats"
 	"mach/internal/trace"
 )
 
@@ -25,440 +8,18 @@ import (
 // measurement. The trace is shared, read-only, across runs: every scheme
 // sees identical content, exactly as the paper replays the same video
 // traces through each configuration.
+//
+// Run is the one-shot façade over the step machine in runner.go; long-lived
+// callers that need checkpointing drive a Runner directly.
 func Run(tr *trace.Trace, s Scheme, cfg Config) (*Result, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if len(tr.Frames) == 0 {
-		return nil, fmt.Errorf("core: empty trace")
-	}
-
-	period := sim.Time(int64(sim.Second) / int64(maxInt(tr.FPS, 1)))
-	// Streams with B frames need one extra period of display latency for
-	// decode-order reordering (anchors decode before the B between them).
-	displayLatency := cfg.DisplayLatencyFrames
-	for i := range tr.Frames {
-		if tr.Frames[i].Type == codec.FrameB {
-			displayLatency++
-			break
-		}
-	}
-	// startup shifts the whole playback timeline: with delivery enabled the
-	// player holds the first scan-out until the first segment is buffered
-	// (assigned below, once availability is known), so initial download
-	// latency is accounted as startup delay rather than as a string of
-	// missed deadlines. Zero for the resident-content pipeline.
-	var startup sim.Time
-	displayTime := func(displayIndex int) sim.Time {
-		return startup + sim.Time(int64(period)*int64(displayIndex+displayLatency))
-	}
-
-	// --- Instantiate the platform -------------------------------------
-	mem := dram.New(cfg.DRAM)
-	ip := decoder.New(cfg.Decoder, mem)
-
-	mcfg := cfg.Mach
-	mcfg.MabSize = tr.Params.MabSize
-	mcfg.LineBytes = int(cfg.DRAM.LineBytes)
-	switch s.Mach {
-	case MachOff:
-		mcfg.Layout = framebuf.LayoutRaw
-	case MachMAB:
-		mcfg.Gradient = false
-	case MachGAB:
-		mcfg.Gradient = true
-	}
-	if s.Mach != MachOff {
-		if s.DisplayOpt {
-			mcfg.Layout = framebuf.LayoutPtrDigest
-		} else {
-			mcfg.Layout = framebuf.LayoutPtr
-		}
-	}
-	wb, err := mach.NewWriteback(mcfg)
+	r, err := NewRunner(tr, s, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Parallel > 1 {
-		// The pool shards only the pure per-mab prehash; classification
-		// and DRAM op generation stay serial in mab order, so the run is
-		// bit-identical to the sequential path (see DESIGN.md).
-		wb.SetPool(par.New(cfg.Parallel))
+	for !r.Done() {
+		r.StepFrame()
 	}
-
-	dcfg := cfg.Display
-	dcfg.FPS = tr.FPS
-	dcfg.LineBytes = int(cfg.DRAM.LineBytes)
-	dispOpt := s.Mach != MachOff && s.DisplayOpt
-	dcfg.UseDisplayCache = dispOpt
-	dcfg.UseMachBuffer = dispOpt
-	dc := display.New(dcfg, mem)
-
-	// Transitions to/from the boosted P-state cost proportionally more
-	// energy (§6.2: Racing's "transitions are to/from higher P states").
-	pcfg := cfg.Power
-	if s.Race {
-		scale := float64(cfg.Decoder.PowerHigh) / float64(cfg.Decoder.PowerLow)
-		pcfg.S1TransitionEnergy = energy.Joules(float64(pcfg.S1TransitionEnergy) * scale)
-		pcfg.S3TransitionEnergy = energy.Joules(float64(pcfg.S3TransitionEnergy) * scale)
-	}
-	ledger := power.NewLedger(pcfg)
-
-	traffic, err := soc.NewGenerator(cfg.Traffic)
-	if err != nil {
-		return nil, err
-	}
-
-	// --- Delivery: per-frame availability --------------------------------
-	// avail[i] is the virtual time frame i's encoded bytes are in the
-	// streaming buffer; nil means everything is resident before playback
-	// (the original perfect-network pipeline, bit-for-bit). Availability
-	// comes from the seeded network model when enabled, merged with any
-	// arrival metadata recorded in the trace itself.
-	var (
-		avail []sim.Time
-		sched *delivery.Schedule
-	)
-	if cfg.Delivery.Enabled {
-		sizes := make([]int, len(tr.Frames))
-		for i := range tr.Frames {
-			sizes[i] = tr.Frames[i].EncodedBytes
-		}
-		sched, err = delivery.Plan(cfg.Delivery, sizes, maxInt(tr.FPS, 1))
-		if err != nil {
-			return nil, err
-		}
-		avail = sched.Avail
-	}
-	if tr.HasArrivals() {
-		if avail == nil {
-			avail = make([]sim.Time, len(tr.Frames))
-		}
-		for i := range tr.Frames {
-			if a := tr.Frames[i].Arrival; a > avail[i] {
-				avail[i] = a
-			}
-		}
-	}
-	if avail != nil {
-		startup = avail[0]
-	}
-	var trafficFrom sim.Time
-	emitTraffic := func(upTo sim.Time) {
-		if upTo > trafficFrom {
-			traffic.Emit(mem, trafficFrom, upTo)
-			trafficFrom = upTo
-		}
-	}
-
-	// --- Geometry -------------------------------------------------------
-	p := tr.Params
-	mabSize := p.MabSize
-	mabsPerRow := p.Width / mabSize
-	mabsPerCol := p.Height / mabSize
-	numMabs := p.MabsPerFrame()
-	frameBytes := uint64(tr.DecodedBytesPerFrame())
-	line := uint64(cfg.DRAM.LineBytes)
-	alignUp := func(v uint64) uint64 { return (v + line - 1) &^ (line - 1) }
-	// Slot: content area + pointer/digest array + base array + bitmap.
-	slotBytes := alignUp(frameBytes) + alignUp(uint64(numMabs*4+numMabs/8+8)) + alignUp(uint64(numMabs*3)) + 4096
-	pool := framebuf.NewPool(framebuf.RegionFrameBuffers, slotBytes)
-
-	retentionFrames := 0
-	if s.Mach != MachOff {
-		retentionFrames = mcfg.NumMACHs
-	}
-	// Batching needs the frame-buffer pool sized so a whole batch can run
-	// back-to-back without waiting for scan-out to free slots (§3.3: 16
-	// buffers for 16-frame batches); MACH retention adds NumMACHs more.
-	poolCap := cfg.BaseBuffers + s.Batch + 5 + retentionFrames
-
-	dumpRing := retentionFrames + 4
-	dumpSlot := alignUp(uint64((mcfg.NumMACHs+1)*mcfg.EntriesPerMACH*8)) + uint64(line)
-
-	// Encoded frames sit consecutively in the streaming buffer region.
-	encodedAddr := make([]uint64, len(tr.Frames))
-	{
-		cursor := framebuf.RegionEncoded
-		for i := range tr.Frames {
-			encodedAddr[i] = cursor
-			cursor += alignUp(uint64(tr.Frames[i].EncodedBytes))
-		}
-	}
-
-	res := &Result{
-		Scheme:       s,
-		Workload:     tr.Profile,
-		Frames:       len(tr.Frames),
-		Energy:       energy.NewBreakdown(),
-		StartupDelay: startup,
-	}
-	if cfg.CollectFrameSamples {
-		res.FrameTimes = stats.NewSample(len(tr.Frames))
-		res.FrameEnergies = stats.NewSample(len(tr.Frames))
-	}
-
-	// --- Pipeline loop ---------------------------------------------------
-	type pendingFree struct {
-		at   sim.Time
-		slot int
-	}
-	var (
-		now          sim.Time
-		decodedCount int
-		releases     []sim.Time    // sorted slot-release times (pool pressure)
-		frees        []pendingFree // slot frees not yet applied to the pool
-		layoutByDisp = make(map[int]*framebuf.FrameLayout)
-		maxDisplayed = -1
-
-		// Slack-prediction state (§7 comparator): EWMA of low-frequency
-		// decode times.
-		predictedLow   sim.Time
-		havePrediction bool
-	)
-
-	applyFrees := func(upTo sim.Time) {
-		kept := frees[:0]
-		for _, f := range frees {
-			if f.at <= upTo {
-				pool.Release(f.slot)
-			} else {
-				kept = append(kept, f)
-			}
-		}
-		frees = kept
-	}
-
-	batchIdx := 0
-	nextBatch := func() int {
-		if len(s.BatchPattern) == 0 {
-			return s.Batch
-		}
-		b := s.BatchPattern[batchIdx%len(s.BatchPattern)]
-		batchIdx++
-		return b
-	}
-	for batchStart := 0; batchStart < len(tr.Frames); {
-		b := nextBatch()
-		if avail != nil && b > 1 {
-			// Graceful degradation: decode only what the streaming buffer
-			// already holds, so a delivery stall costs one short rebuffer
-			// instead of racing ahead into frames that have not arrived and
-			// dropping a whole batch worth of deadlines. An empty buffer
-			// degrades to single-frame decoding (wait, then decode one).
-			ready := 0
-			for i := batchStart; i < len(tr.Frames) && i-batchStart < b; i++ {
-				if avail[i] <= now {
-					ready++
-				} else {
-					break
-				}
-			}
-			if ready < 1 {
-				ready = 1
-			}
-			if ready < b {
-				b = ready
-				res.BatchShrinks++
-			}
-		}
-		batchEnd := minInt(batchStart+b, len(tr.Frames))
-
-		// Wake the decoder for this batch. Frames are released to the
-		// decoder at the stream cadence in decode order (§2.1: the app
-		// calls the decoder every frame period); a batch of L frames is
-		// released L-1 periods earlier so the whole batch can run
-		// back-to-back and slow frames borrow slack from fast ones (§3.1).
-		wake := startup + sim.Time(int64(period)*int64(batchStart-(batchEnd-batchStart-1)))
-		if wake < startup {
-			wake = startup
-		}
-		if wake > now {
-			ledger.Spend(wake - now) // batch-boundary slack: idle/S1/S3 per break-even
-			now = wake
-		}
-
-		emitTraffic(now)
-		for i := batchStart; i < batchEnd; i++ {
-			f := &tr.Frames[i]
-
-			// Rebuffer: the frame's bytes have not arrived yet. The decoder
-			// waits, spending the stall as slack under the sleep policy; if
-			// the wait pushes past the deadline, the repeat-frame path below
-			// absorbs it as a drop rather than a failure.
-			if avail != nil && avail[i] > now {
-				wait := avail[i] - now
-				res.Rebuffers++
-				res.RebufferTime += wait
-				ledger.Spend(wait)
-				now = avail[i]
-			}
-
-			// Buffer backpressure: wait for a slot when the pipeline is
-			// poolCap frames ahead. The wait is slack spent per policy.
-			if decodedCount >= poolCap {
-				tFree := releases[decodedCount-poolCap]
-				if tFree > now {
-					ledger.Spend(tFree - now)
-					now = tFree
-				}
-			}
-			applyFrees(now)
-			slot, base := pool.Acquire()
-			dumpBase := framebuf.RegionMachDumps + uint64(i%dumpRing)*dumpSlot
-
-			// Per-frame DVFS for the slack-predictive comparator: boost
-			// only when the EWMA-predicted low-frequency decode time
-			// would overrun the deadline (with a 10% guard band).
-			race := s.Race
-			if s.SlackPredict {
-				dt := displayTime(f.DisplayIndex)
-				budget := dt - now
-				race = havePrediction && sim.Time(float64(predictedLow)*1.1) > budget
-			}
-
-			layout, fres := ip.DecodeFrame(
-				now, f.Work, race,
-				encodedAddr[i], f.EncodedBytes,
-				func(sink func(addr uint64, size int, mabOrdinal int)) *framebuf.FrameLayout {
-					return wb.ProcessFrame(f.Decoded, f.DisplayIndex, base, dumpBase, sink)
-				},
-				mabsPerRow, mabsPerCol, mabSize,
-			)
-			ip.RegisterLayout(layout, f.Type)
-			layoutByDisp[f.DisplayIndex] = layout
-			now = fres.Done
-			decodedCount++
-
-			if s.SlackPredict {
-				lowTime := fres.BusyTime
-				if race {
-					// Convert the boosted decode back to the low-frequency
-					// equivalent for the history.
-					lowTime = sim.Time(float64(fres.BusyTime) *
-						float64(cfg.Decoder.FreqHigh) / float64(cfg.Decoder.FreqLow))
-				}
-				if !havePrediction {
-					predictedLow = lowTime
-					havePrediction = true
-				} else {
-					predictedLow = sim.Time(0.7*float64(predictedLow) + 0.3*float64(lowTime))
-				}
-			}
-
-			if res.FrameTimes != nil {
-				res.FrameTimes.Add(fres.BusyTime.Seconds())
-				res.FrameEnergies.Add(float64(fres.ActiveEnergy))
-			}
-
-			// Display handover.
-			dt := displayTime(f.DisplayIndex)
-			if fres.Done <= dt {
-				dc.Prefetch(fres.Done, layout)
-				dc.ScanOut(dt, layout)
-				if f.DisplayIndex > maxDisplayed {
-					maxDisplayed = f.DisplayIndex
-				}
-			} else {
-				// Missed the refresh: the DC re-renders the previous frame
-				// (§2.1) and this frame's content is skipped.
-				res.Drops++
-				dc.RepeatFrame(dt, layoutByDisp[f.DisplayIndex-1])
-			}
-
-			// Slot lifetime: until scanned out plus the MACH retention
-			// window (inter-match pointers may target this buffer).
-			freeAt := dt + sim.Time(int64(period)*int64(retentionFrames+1))
-			idx := sort.Search(len(releases), func(j int) bool { return releases[j] > freeAt })
-			releases = append(releases, 0)
-			copy(releases[idx+1:], releases[idx:])
-			releases[idx] = freeAt
-			frees = append(frees, pendingFree{at: freeAt, slot: slot})
-
-			// Retire decoder-side reference layouts that can no longer be
-			// referenced (older than the MACH window and the anchor pair).
-			horizon := f.DisplayIndex - retentionFrames - 4
-			for d := range layoutByDisp {
-				if d < horizon {
-					ip.RetireLayout(d)
-					delete(layoutByDisp, d)
-				}
-			}
-		}
-		batchStart = batchEnd
-	}
-
-	// Tail: the decoder sleeps until the last frame has been scanned out.
-	// When the stream's tail rebuffered past its deadlines (maxDisplayed
-	// lags the frame count), the wall clock still ends after the final
-	// decode, so late-arrival slack is never silently dropped.
-	end := displayTime(maxDisplayed+1) + period
-	emitTraffic(end)
-	if end < now {
-		end = now
-	}
-	if end > now {
-		ledger.Spend(end - now)
-	}
-	mem.AccrueBackground(end)
-
-	// --- Assemble the report ---------------------------------------------
-	res.WallTime = end
-	dec := ip.Stats()
-	disp := dc.Stats()
-	wstats := wb.Stats()
-	menergy := mem.EnergySnapshot()
-
-	res.BusyTime = dec.BusyTime
-	res.IdleTime = ledger.IdleTime
-	res.S1Time = ledger.S1Time
-	res.S3Time = ledger.S3Time
-	res.TransTime = ledger.TransTime()
-	res.Transitions = ledger.Transitions
-	res.PoolHighWater = pool.HighWater()
-	res.Mem = mem.Stats()
-	res.MemEnergy = menergy
-	res.Dec = dec
-	res.DecCache = ip.CacheStats()
-	res.Disp = disp
-	res.Mach = wstats
-	res.Ledger = ledger
-
-	res.Energy.Add(energy.CompVDBusy, float64(dec.ActiveEnergy))
-	res.Energy.Add(energy.CompSleep, float64(ledger.S1Energy+ledger.S3Energy))
-	res.Energy.Add(energy.CompShortSlack, float64(ledger.IdleEnergy))
-	res.Energy.Add(energy.CompTransition, float64(ledger.TransEnergy))
-	res.Energy.Add(energy.CompMemActPre, float64(menergy.ActPre))
-	res.Energy.Add(energy.CompMemBurst, float64(menergy.Burst))
-	res.Energy.Add(energy.CompMemBackground, float64(menergy.Background))
-	res.Energy.Add(energy.CompDC, float64(disp.ActiveEnergy))
-
-	if sched != nil {
-		// Radio: idle tail/sleep runs to the end of playback, then the
-		// modem's four-state energy joins the breakdown as its own
-		// component (outside the nine-part Fig 11 split).
-		sched.Radio.Finish(end)
-		res.Net = sched.Stats
-		res.Radio = sched.Radio.Stats()
-		res.Energy.Add(energy.CompRadio, float64(res.Radio.TotalEnergy()))
-	}
-
-	machOn := s.Mach != MachOff
-	var gabMabs int64
-	if mcfg.Gradient && machOn {
-		gabMabs = wstats.Mabs
-	}
-	machLookups := wstats.Mabs * int64(1+mcfg.NumMACHs)
-	machBufOps := disp.DigestRecords + disp.PrefetchReads
-	res.Energy.Add(energy.CompMachOverhead, float64(cfg.SRAM.Overhead(
-		end.Seconds(), machOn, dispOpt,
-		machLookups, machBufOps, disp.DCLookups, gabMabs,
-	)))
-
-	return res, nil
+	return r.Finish()
 }
 
 // RunStandard runs all six Fig 11 schemes over one trace.
@@ -472,18 +33,4 @@ func RunStandard(tr *trace.Trace, cfg Config) ([]*Result, error) {
 		out = append(out, r)
 	}
 	return out, nil
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -198,6 +198,46 @@ func (ip *IP) RetireLayout(displayIndex int) {
 	delete(ip.layouts, displayIndex)
 }
 
+// State is the serializable mirror of the IP's cross-frame state: counters,
+// decode-cache contents, and the anchor pair. The reference-layout table is
+// restored separately (the pipeline owns the layout objects and shares them
+// with the IP by pointer).
+type State struct {
+	Stats       Stats
+	Cache       cache.State
+	OlderAnchor int
+	NewerAnchor int
+}
+
+// Snapshot returns a copy of the IP's mutable state, excluding the layout
+// table (see State).
+func (ip *IP) Snapshot() State {
+	return State{
+		Stats:       ip.stats,
+		Cache:       ip.cache.Snapshot(),
+		OlderAnchor: ip.olderAnchor,
+		NewerAnchor: ip.newerAnchor,
+	}
+}
+
+// Restore overwrites the IP's mutable state from a snapshot taken on an
+// identically configured IP. layouts becomes the IP's reference table; the
+// caller passes the same layout objects it hands the display, preserving
+// the pointer sharing the live pipeline has. The map is copied.
+func (ip *IP) Restore(st State, layouts map[int]*framebuf.FrameLayout) error {
+	if err := ip.cache.Restore(st.Cache); err != nil {
+		return err
+	}
+	ip.stats = st.Stats
+	ip.olderAnchor = st.OlderAnchor
+	ip.newerAnchor = st.NewerAnchor
+	ip.layouts = make(map[int]*framebuf.FrameLayout, len(layouts))
+	for d, l := range layouts {
+		ip.layouts[d] = l
+	}
+	return nil
+}
+
 // cachedRead routes one line read through the decode cache; on a miss the
 // DRAM access latency is returned (the pipeline stalls for it).
 func (ip *IP) cachedRead(now sim.Time, addr uint64) sim.Time {

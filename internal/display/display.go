@@ -151,6 +151,63 @@ func (c *Controller) Config() Config { return c.cfg }
 // Stats returns accumulated counters.
 func (c *Controller) Stats() Stats { return c.stats }
 
+// MachBufEntryState is the serializable mirror of one MACH-buffer slot.
+type MachBufEntryState struct {
+	Digest uint32
+	Ptr    uint64
+	Valid  bool
+	LRU    uint64
+}
+
+// State is the serializable mirror of the controller's mutable state. DCache
+// is nil when the display cache is disabled, mirroring the configuration.
+type State struct {
+	DCache  *cache.State
+	MachBuf []MachBufEntryState
+	MBTick  uint64
+	Stats   Stats
+}
+
+// Snapshot returns a copy of the controller's mutable state.
+func (c *Controller) Snapshot() State {
+	st := State{MBTick: c.mbTick, Stats: c.stats}
+	if c.dcache != nil {
+		cs := c.dcache.Snapshot()
+		st.DCache = &cs
+	}
+	if c.machBuf != nil {
+		st.MachBuf = make([]MachBufEntryState, len(c.machBuf))
+		for i, e := range c.machBuf {
+			st.MachBuf[i] = MachBufEntryState{Digest: e.digest, Ptr: e.ptr, Valid: e.valid, LRU: e.lru}
+		}
+	}
+	return st
+}
+
+// Restore overwrites the controller's mutable state from a snapshot taken on
+// an identically configured controller; shape mismatches are rejected.
+func (c *Controller) Restore(st State) error {
+	if (st.DCache != nil) != (c.dcache != nil) {
+		return fmt.Errorf("display: snapshot display-cache presence %v, config wants %v",
+			st.DCache != nil, c.dcache != nil)
+	}
+	if len(st.MachBuf) != len(c.machBuf) {
+		return fmt.Errorf("display: snapshot MACH buffer has %d entries, config wants %d",
+			len(st.MachBuf), len(c.machBuf))
+	}
+	if c.dcache != nil {
+		if err := c.dcache.Restore(*st.DCache); err != nil {
+			return err
+		}
+	}
+	for i, e := range st.MachBuf {
+		c.machBuf[i] = machBufEntry{digest: e.Digest, ptr: e.Ptr, valid: e.Valid, lru: e.LRU}
+	}
+	c.mbTick = st.MBTick
+	c.stats = st.Stats
+	return nil
+}
+
 // mbLookup searches the MACH buffer by digest.
 func (c *Controller) mbLookup(digest uint32) (uint64, bool) {
 	if c.machBuf == nil {
@@ -253,7 +310,7 @@ func (c *Controller) ScanOut(start sim.Time, l *framebuf.FrameLayout) int64 {
 		frameBytes := uint64(len(l.Records) * l.MabBytes)
 		total := int64((frameBytes + lineBytes - 1) / lineBytes)
 		for i := int64(0); i < total; i++ {
-			at := start + sim.Time(int64(period)*(i/burstLines*burstLines)/maxI64(total, 1))
+			at := start + sim.Time(int64(period)*(i/burstLines*burstLines)/max(total, 1))
 			c.readLine(at, l.BufferBase+uint64(i)*lineBytes, false)
 		}
 	default:
@@ -262,7 +319,7 @@ func (c *Controller) ScanOut(start sim.Time, l *framebuf.FrameLayout) int64 {
 		// and share row activations.
 		n := len(l.Records)
 		for i, rec := range l.Records {
-			at := start + sim.Time(int64(period)*int64(i/256*256)/int64(maxInt(n, 1)))
+			at := start + sim.Time(int64(period)*int64(i/256*256)/int64(max(n, 1)))
 			// Metadata stream: the pointer/digest array is sequential, so
 			// one line covers 16 records; the display cache makes the
 			// repeats free.
@@ -294,7 +351,7 @@ func (c *Controller) ScanOut(start sim.Time, l *framebuf.FrameLayout) int64 {
 			baseBytes := uint64(len(l.Records) * 3)
 			group := 16 * lineBytes
 			for off := uint64(0); off < baseBytes; off += lineBytes {
-				at := start + sim.Time(int64(period)*int64(off/group*group)/int64(maxU64(baseBytes, 1)))
+				at := start + sim.Time(int64(period)*int64(off/group*group)/int64(max(baseBytes, 1)))
 				if c.readLine(at, (baseStart+off)&^(lineBytes-1), false) {
 					c.stats.MetaLineReads++
 				}
@@ -340,25 +397,4 @@ func resolveDump(l *framebuf.FrameLayout, digest uint32) uint64 {
 		}
 	}
 	return l.BufferBase
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

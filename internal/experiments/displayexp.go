@@ -48,8 +48,8 @@ func (r *Runner) Fig10d() (*stats.Table, error) {
 	tb := stats.NewTable("metric", "value")
 	tb.AddRow("digest-indexed", pct(float64(d.DigestRecords)/totalRecords))
 	tb.AddRow("pointer-indexed", pct(float64(d.PointerRecords)/totalRecords))
-	tb.AddRow("machbuf-hit-rate", pct(float64(d.MachBufHits)/maxF(float64(d.DigestRecords), 1)))
-	tb.AddRow("fragmented-fetches", pct(float64(d.Fragmented)/maxF(float64(d.PointerRecords), 1)))
+	tb.AddRow("machbuf-hit-rate", pct(float64(d.MachBufHits)/max(float64(d.DigestRecords), 1)))
+	tb.AddRow("fragmented-fetches", pct(float64(d.Fragmented)/max(float64(d.PointerRecords), 1)))
 	tb.AddRow("paper-digest-indexed", "38%")
 	return tb, nil
 }
@@ -85,11 +85,4 @@ func (r *Runner) Fig10e() (*stats.Table, error) {
 	tb.AddRow("MACH + display cache + MACH buffer", fmt.Sprintf("%.0f", fullReads), fmt.Sprintf("%.3f", fullReads/baseReads))
 	tb.AddRow("paper: full optimization", "", "0.665 (33.5% saved)")
 	return tb, nil
-}
-
-func maxF(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

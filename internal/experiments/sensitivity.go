@@ -121,7 +121,7 @@ func (r *Runner) Fig12c(sizes []int) (*stats.Table, error) {
 			wb.ProcessFrame(fr, ef.DisplayIndex, base, dump, nil)
 		}
 		s := wb.Stats()
-		metaShare := float64(s.MetaBytes) / maxF(float64(s.RawBytes), 1)
+		metaShare := float64(s.MetaBytes) / max(float64(s.RawBytes), 1)
 		tb.AddRow(fmt.Sprintf("%dx%d", n, n), pct(s.Savings()), pct(s.MatchRate()), pct(metaShare))
 	}
 	tb.AddRow("paper", "4x4 optimal", "", "")

@@ -29,6 +29,16 @@ import (
 // moves energy and returns a completion time: posted writes legitimately
 // ignore the completion time, and the memory model accrues its own energy
 // internally.
+//
+// Checkpoint save/restore paths (the Snapshot/Restore methods behind
+// internal/checkpoint) copy already-accounted energy between a ledger and
+// its serialized state struct as plain field reads and assignments. No
+// producer call fires, so no joule is created and nothing needs an ignore:
+// the analyzer is silent on those paths by construction. The invariant
+// still holds across a restore — what a restore must never do is rerun a
+// producer for energy it is reloading, which would land the same joule in
+// a second ledger and is flagged like any other double count (see
+// testdata/ledgercheck/restore.go).
 var LedgerCheck = &Analyzer{
 	Name: "ledgercheck",
 	Doc: "flag energy-producing call results that are dropped, dead-stored, or " +

@@ -1,0 +1,66 @@
+// Corpus: checkpoint save/restore shapes. A snapshot copies accumulated
+// energy fields out and a restore copies them back in; both are plain state
+// moves — no producer call fires, no joule is created — so the analyzer
+// stays silent by construction. The one thing a restore path must never do
+// is re-produce energy it is supposed to be reloading: that shape is
+// flagged like any other double-count.
+package ledgerrestore
+
+type Joules float64
+type Watts float64
+type Time int64
+
+func (t Time) Seconds() float64    { return float64(t) / 1e12 }
+func (w Watts) Over(d Time) Joules { return Joules(float64(w) * d.Seconds()) }
+
+type Breakdown struct{ m map[string]float64 }
+
+func (b *Breakdown) Add(key string, v float64) { b.m[key] += v }
+
+// ledger mirrors power.Ledger: accumulated energy owned by one component.
+type ledger struct {
+	idleEnergy Joules
+	s3Energy   Joules
+}
+
+// ledgerState mirrors power.LedgerState: the serializable snapshot.
+type ledgerState struct {
+	IdleEnergy Joules
+	S3Energy   Joules
+}
+
+// Snapshot reads accumulated fields into the state struct. Field reads are
+// not producer calls; nothing here is flagged.
+func (l *ledger) snapshot() ledgerState {
+	return ledgerState{IdleEnergy: l.idleEnergy, S3Energy: l.s3Energy}
+}
+
+// Restore writes the snapshot back. Plain assignments move already-produced
+// energy between representations of the same single ledger — the invariant
+// (every joule in exactly one ledger) is preserved, and no diagnostic fires.
+func (l *ledger) restore(st ledgerState) {
+	l.idleEnergy = st.IdleEnergy
+	l.s3Energy = st.S3Energy
+}
+
+// A full checkpoint round trip of produced energy: produce once, account
+// once, snapshot, restore. Still exactly one ledger at every point.
+func roundTrip(w Watts, d Time) ledgerState {
+	l := &ledger{}
+	l.idleEnergy = w.Over(d)
+	st := l.snapshot()
+	fresh := &ledger{}
+	fresh.restore(st)
+	return fresh.snapshot()
+}
+
+// The boundary: a restore path must reload state, not rerun production.
+// Re-producing the energy and accumulating it on top of the restored copy
+// double-counts, and the analyzer treats it like any other second sink.
+func restoreMustNotReproduce(w Watts, d Time, b *Breakdown) ledgerState {
+	e := w.Over(d) // want "energy assigned to \"e\" flows into 2 accumulators"
+	b.Add("idle", float64(e))
+	st := ledgerState{IdleEnergy: e}
+	b.Add("restored-idle", float64(e))
+	return st
+}

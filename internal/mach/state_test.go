@@ -1,0 +1,145 @@
+package mach
+
+import (
+	"reflect"
+	"testing"
+
+	"mach/internal/framebuf"
+)
+
+// trackedConfig enables both measurement shadows so snapshots carry every
+// optional piece of state.
+func trackedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.TrackPopularity = true
+	cfg.TrackCollisions = true
+	return cfg
+}
+
+// stepFrames drives n frames of mixed content through wb, each at distinct
+// frame-buffer/dump addresses like the real pipeline.
+func stepFrames(t *testing.T, wb *Writeback, from, n int) []*framebuf.FrameLayout {
+	t.Helper()
+	layouts := make([]*framebuf.FrameLayout, 0, n)
+	for i := from; i < from+n; i++ {
+		var fr = uniqueFrame(32, 16, byte(i%3))
+		if i%2 == 0 {
+			fr = flatFrame(32, 16, byte(40+i), 50, 60)
+		}
+		base := uint64(i) << 20
+		layouts = append(layouts, wb.ProcessFrame(fr, i,
+			framebuf.RegionFrameBuffers+base, framebuf.RegionMachDumps+base, nil))
+	}
+	return layouts
+}
+
+// The resume contract at the engine level: restore a snapshot into a fresh
+// identically-configured engine and both must agree on all future frames.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	cfg := trackedConfig()
+	wb, err := NewWriteback(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepFrames(t, wb, 0, 3)
+	snap := wb.Snapshot()
+
+	wb2, err := NewWriteback(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wb2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if wb2.Config() != cfg {
+		t.Fatal("Config must round-trip through the constructor")
+	}
+	if !reflect.DeepEqual(wb.Snapshot(), wb2.Snapshot()) {
+		t.Fatal("restored engine snapshots differently")
+	}
+
+	a := stepFrames(t, wb, 3, 2)
+	b := stepFrames(t, wb2, 3, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("original and restored engines diverge on post-restore frames")
+	}
+	if !reflect.DeepEqual(wb.Stats(), wb2.Stats()) {
+		t.Fatalf("stats diverge:\n%+v\n%+v", wb.Stats(), wb2.Stats())
+	}
+}
+
+// A fresh engine's snapshot (no history, empty stats) must also round-trip:
+// this is the frame-0 checkpoint.
+func TestSnapshotRestoreEmpty(t *testing.T) {
+	cfg := DefaultConfig()
+	wb, _ := NewWriteback(cfg)
+	snap := wb.Snapshot()
+	wb2, _ := NewWriteback(cfg)
+	if err := wb2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stepFrames(t, wb, 0, 2), stepFrames(t, wb2, 0, 2)) {
+		t.Fatal("engines diverge after empty-state restore")
+	}
+}
+
+// The snapshot owns its maps: frames processed afterwards must not mutate it.
+func TestSnapshotIsOwned(t *testing.T) {
+	cfg := trackedConfig()
+	wb, _ := NewWriteback(cfg)
+	stepFrames(t, wb, 0, 2)
+	snap := wb.Snapshot()
+	before := len(snap.Stats.DigestMatches)
+	fr := flatFrame(32, 16, 99, 98, 97)
+	wb.ProcessFrame(fr, 2, framebuf.RegionFrameBuffers+2<<20, framebuf.RegionMachDumps+2<<20, nil)
+	if len(snap.Stats.DigestMatches) != before {
+		t.Fatal("later frames mutated the snapshot's popularity map")
+	}
+}
+
+// Snapshots come from untrusted checkpoint files; every shape the
+// classification loop indexes into must be rejected, not trusted.
+func TestRestoreRejectsBadState(t *testing.T) {
+	cfg := trackedConfig()
+	wb, _ := NewWriteback(cfg)
+	stepFrames(t, wb, 0, 3)
+	good := wb.Snapshot()
+
+	cases := []struct {
+		name    string
+		mutate  func(st *State)
+		withCfg func(c *Config)
+	}{
+		{name: "wrong entry count", mutate: func(st *State) {
+			st.History[0].Entries = st.History[0].Entries[:1]
+		}},
+		{name: "too many frozen MACHs", mutate: func(st *State) {
+			for len(st.History) <= cfg.NumMACHs {
+				st.History = append(st.History, st.History[0])
+			}
+		}},
+		{name: "popularity tracking mismatch", withCfg: func(c *Config) {
+			c.TrackPopularity = false
+		}},
+		{name: "collision tracking mismatch", withCfg: func(c *Config) {
+			c.TrackCollisions = false
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			target := cfg
+			if tc.withCfg != nil {
+				tc.withCfg(&target)
+			}
+			st := good
+			st.History = append([]CacheState(nil), good.History...)
+			if tc.mutate != nil {
+				tc.mutate(&st)
+			}
+			fresh, _ := NewWriteback(target)
+			if err := fresh.Restore(st); err == nil {
+				t.Fatal("want a rejection, got nil")
+			}
+		})
+	}
+}

@@ -85,6 +85,12 @@ func NewSample(capacity int) *Sample {
 	return &Sample{xs: make([]float64, 0, capacity)}
 }
 
+// RestoreSample reconstructs a sample from previously collected values in
+// insertion order (the checkpoint/resume path); the slice is copied.
+func RestoreSample(values []float64) *Sample {
+	return &Sample{xs: append([]float64(nil), values...)}
+}
+
 // Add appends one observation.
 func (s *Sample) Add(x float64) {
 	s.xs = append(s.xs, x)

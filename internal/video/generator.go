@@ -168,8 +168,8 @@ func (g *Generator) reseed() {
 		w := (2 + g.rng.Intn(4)) * 4
 		h := (2 + g.rng.Intn(4)) * 4
 		sp := sprite{
-			x: g.rng.Intn(maxInt(1, g.w-w)),
-			y: g.rng.Intn(maxInt(1, g.h-h)),
+			x: g.rng.Intn(max(1, g.w-w)),
+			y: g.rng.Intn(max(1, g.h-h)),
 			w: w, h: h,
 			color: [3]byte{byte(g.rng.Intn(256)), byte(g.rng.Intn(256)), byte(g.rng.Intn(256))},
 		}
@@ -204,13 +204,6 @@ func noiseByte(rng *rand.Rand, amp float64) byte {
 	return byte(v)
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // Frame synthesizes the next raw frame in display order.
 func (g *Generator) Frame() *codec.Frame {
 	p := g.prof
@@ -226,7 +219,7 @@ func (g *Generator) Frame() *codec.Frame {
 		patchW := g.w / len(g.sc.flatColors)
 		for yy := y; yy < y+l.flatH; yy++ {
 			for x := 0; x < g.w; x++ {
-				pi := minInt(x/maxInt(4, patchW), len(g.sc.flatColors)-1)
+				pi := min(x/max(4, patchW), len(g.sc.flatColors)-1)
 				c := g.sc.flatColors[pi]
 				f.Set(x, yy, c[0], c[1], c[2])
 			}
@@ -335,11 +328,4 @@ func (g *Generator) Frame() *codec.Frame {
 	g.frameIdx++
 	g.rampDrift++
 	return f
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

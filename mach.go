@@ -24,6 +24,7 @@
 package mach
 
 import (
+	"mach/internal/checkpoint"
 	"mach/internal/core"
 	"mach/internal/delivery"
 	"mach/internal/trace"
@@ -56,7 +57,16 @@ type (
 	DeliveryConfig = delivery.Config
 	// DeliveryStats aggregates a run's delivery behaviour (Result.Net).
 	DeliveryStats = delivery.Stats
+	// Runner is the per-frame step machine behind Run; drive it directly
+	// to checkpoint and resume long runs (see SaveCheckpoint /
+	// LoadCheckpoint).
+	Runner = core.Runner
 )
+
+// ErrCorruptCheckpoint wraps every checkpoint validation failure — bad
+// magic, version, fingerprint, CRC, or structural state — so callers can
+// distinguish a damaged file from an I/O error with errors.Is.
+var ErrCorruptCheckpoint = checkpoint.ErrCorrupt
 
 // MACH modes.
 const (
@@ -99,6 +109,12 @@ var (
 	Run = core.Run
 	// RunStandard runs all six Fig 11 schemes.
 	RunStandard = core.RunStandard
+	// NewRunner builds the per-frame step machine behind Run.
+	NewRunner = core.NewRunner
+	// LoadCheckpoint rebuilds a Runner from a checkpoint file written by
+	// Runner.SaveCheckpoint; the file must match the (trace, scheme,
+	// config) triple.
+	LoadCheckpoint = core.LoadCheckpoint
 
 	// Scheme constructors (the six bars of Fig 11 plus the §5 ablation).
 	AdaptiveBatching = core.AdaptiveBatching
