@@ -80,6 +80,7 @@ type Runner struct {
 	predictedLow   sim.Time
 	havePrediction bool
 
+	//lint:derived a checkpoint taken at the finish line is pointless; Restore rebuilds a runner that is mid-run by construction
 	finished bool
 }
 

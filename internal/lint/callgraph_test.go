@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildTestIndex type-checks one source string as a standalone package and
+// builds the module index over it, exactly as RunAnalyzers does.
+func buildTestIndex(t *testing.T, src, path string) (*Package, *moduleIndex) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := CheckFile(fset, f, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", pkg.TypeErrors)
+	}
+	return pkg, buildModuleIndex(fset, []*Package{pkg})
+}
+
+// declaredNode finds the unique declared function or method whose name
+// contains frag.
+func declaredNode(t *testing.T, g *callGraph, frag string) *funcNode {
+	t.Helper()
+	var found *funcNode
+	for _, n := range g.nodes {
+		if n.fn != nil && strings.Contains(n.name, frag) {
+			if found != nil {
+				t.Fatalf("ambiguous node fragment %q (%s, %s)", frag, found.name, n.name)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no declared node matching %q", frag)
+	}
+	return found
+}
+
+func TestCallGraphMethodValue(t *testing.T) {
+	src := `package p
+
+type T struct{ n int }
+
+func (t *T) bump() { t.n++ }
+
+func run(t *T) {
+	f := t.bump
+	f()
+}
+`
+	pkg, mod := buildTestIndex(t, src, "example.com/p")
+	g := mod.graphs[pkg.Path]
+	run := declaredNode(t, g, "run")
+	bump := declaredNode(t, g, "bump")
+	if !g.reachableFrom(run)[bump] {
+		t.Fatalf("bump not reachable from run through the method-value binding")
+	}
+}
+
+func TestCallGraphClosure(t *testing.T) {
+	src := `package p
+
+func run() int {
+	g := func() int { return 1 }
+	return g()
+}
+`
+	pkg, mod := buildTestIndex(t, src, "example.com/p")
+	g := mod.graphs[pkg.Path]
+	var resolved bool
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(nd ast.Node) bool {
+			call, ok := nd.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "g" {
+				for _, tgt := range g.calleesOf(call) {
+					if tgt.lit != nil {
+						resolved = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if !resolved {
+		t.Fatalf("call through closure variable g did not resolve to the literal")
+	}
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	src := `package p
+
+type iface interface{ m() }
+
+type a struct{}
+
+func (a) m() {}
+
+type b struct{}
+
+func (b) m() {}
+
+func call(i iface) { i.m() }
+`
+	pkg, mod := buildTestIndex(t, src, "example.com/p")
+	g := mod.graphs[pkg.Path]
+	call := declaredNode(t, g, "call")
+	ma := declaredNode(t, g, "a).m")
+	mb := declaredNode(t, g, "b).m")
+	reach := g.reachableFrom(call)
+	if !reach[ma] || !reach[mb] {
+		t.Fatalf("interface dispatch should reach both implementations; got a=%v b=%v", reach[ma], reach[mb])
+	}
+}
+
+func TestCallGraphSCCOrder(t *testing.T) {
+	src := `package p
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func caller(n int) bool { return odd(n) }
+`
+	pkg, mod := buildTestIndex(t, src, "example.com/p")
+	g := mod.graphs[pkg.Path]
+	odd := declaredNode(t, g, "odd")
+	even := declaredNode(t, g, "even")
+	caller := declaredNode(t, g, "caller")
+
+	sccOf := func(n *funcNode) int {
+		for i, scc := range g.sccs {
+			for _, m := range scc {
+				if m == n {
+					return i
+				}
+			}
+		}
+		t.Fatalf("%s not in any SCC", n.name)
+		return -1
+	}
+	if sccOf(odd) != sccOf(even) {
+		t.Fatalf("mutual recursion should land odd and even in one SCC")
+	}
+	if sccOf(odd) >= sccOf(caller) {
+		t.Fatalf("SCC order must be callee-first: odd at %d, caller at %d", sccOf(odd), sccOf(caller))
+	}
+	// The recursive SCC still gets summaries (fixpoint terminated).
+	if odd.sum == nil || even.sum == nil {
+		t.Fatalf("recursive SCC missing summaries")
+	}
+	if !odd.sum.pure() {
+		t.Fatalf("odd is pure; summary says otherwise")
+	}
+}
+
+func TestSummaryEffects(t *testing.T) {
+	src := `package p
+
+var global int
+
+type T struct {
+	n int
+	m map[int]int
+}
+
+func (t *T) bump() { t.n++ }
+
+func (t *T) rangeMap() int {
+	s := 0
+	for _, v := range t.m {
+		s += v
+	}
+	return s
+}
+
+func writesGlobal() { global++ }
+
+func callsBump(t *T) { t.bump() }
+
+func pureCopy(cfg T) int {
+	cfg.n++
+	return cfg.n
+}
+`
+	pkg, mod := buildTestIndex(t, src, "example.com/p")
+	g := mod.graphs[pkg.Path]
+	if s := declaredNode(t, g, "bump").sum; s == nil || s.writesRecv == nil {
+		t.Fatalf("bump should carry a receiver write effect")
+	}
+	if s := declaredNode(t, g, "rangeMap").sum; s == nil || s.rangesRecv == nil {
+		t.Fatalf("rangeMap should carry a receiver map-range effect")
+	}
+	if s := declaredNode(t, g, "writesGlobal").sum; s == nil || s.writesGlobal == nil || s.pure() {
+		t.Fatalf("writesGlobal should carry a global write effect and be impure")
+	}
+	// The callee's receiver effect translates through the call: callsBump
+	// writes its parameter's referent.
+	if s := declaredNode(t, g, "callsBump").sum; s == nil || s.writesParam[0] == nil {
+		t.Fatalf("callsBump should fold bump's receiver write into a parameter write")
+	}
+	// Mutating a by-value struct copy is invisible to the caller.
+	if s := declaredNode(t, g, "pureCopy").sum; s == nil || !s.pure() || s.writesParam[0] != nil {
+		t.Fatalf("pureCopy mutates only its local copy; summary disagrees: %+v", s)
+	}
+}

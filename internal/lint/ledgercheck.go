@@ -60,7 +60,11 @@ var accumulatorTypes = map[string]bool{
 func isEnergyDim(d string) bool { return strings.HasPrefix(d, "energy") }
 
 // isProducerCall reports whether e is a genuine call (not a conversion)
-// whose single result carries an energy dimension.
+// whose single result carries an energy dimension — by its declared unit
+// type, or (interprocedurally, machlint v3) by the callee summaries when
+// the helper returns its joules through a plain float64. Every resolved
+// dispatch target must agree; a lone disagreeing implementation makes the
+// call's dimension unknown, not energy.
 func isProducerCall(pass *Pass, e ast.Expr) bool {
 	call, ok := ast.Unparen(e).(*ast.CallExpr)
 	if !ok {
@@ -69,11 +73,22 @@ func isProducerCall(pass *Pass, e ast.Expr) bool {
 	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
 		return false // conversion: a rescale boundary, not a producer
 	}
-	tv, ok := pass.Info.Types[call]
-	if !ok {
+	if tv, ok := pass.Info.Types[call]; ok && isEnergyDim(typeDim(tv.Type)) {
+		return true
+	}
+	if pass.graph == nil {
 		return false
 	}
-	return isEnergyDim(typeDim(tv.Type))
+	targets := pass.graph.calleesOf(call)
+	if len(targets) == 0 {
+		return false
+	}
+	for _, t := range targets {
+		if t.sum == nil || len(t.sum.resultDims) != 1 || !isEnergyDim(t.sum.resultDims[0]) {
+			return false
+		}
+	}
+	return true
 }
 
 // containsProducer reports whether any subexpression of e is a producer
@@ -206,12 +221,42 @@ func sinkUses(pass *Pass, n ast.Node, v *types.Var) []string {
 				sinks = append(sinks, pass.ExprString(n.Lhs[0]))
 			}
 		case *ast.CallExpr:
-			if !isAccumulatorAdd(pass, n) {
+			if isAccumulatorAdd(pass, n) {
+				for _, arg := range n.Args {
+					if exprReadsVar(pass, arg, v) {
+						sinks = append(sinks, pass.ExprString(n.Fun))
+						break
+					}
+				}
 				return true
 			}
-			for _, arg := range n.Args {
-				if exprReadsVar(pass, arg, v) {
-					sinks = append(sinks, pass.ExprString(n.Fun))
+			// Interprocedural sink (machlint v3): the value feeds a callee
+			// parameter that the callee's summary accumulates into an
+			// energy ledger — energy produced here, deposited one call away.
+			if pass.graph == nil {
+				return true
+			}
+			for _, callee := range pass.graph.calleesOf(n) {
+				if callee.sum == nil {
+					continue
+				}
+				hit := false
+				for k, acc := range callee.sum.accParam {
+					if !acc {
+						continue
+					}
+					for _, arg := range argsForParam(n, callee, k) {
+						if exprReadsVar(pass, arg, v) {
+							sinks = append(sinks, pass.ExprString(n.Fun))
+							hit = true
+							break
+						}
+					}
+					if hit {
+						break
+					}
+				}
+				if hit {
 					break
 				}
 			}

@@ -21,6 +21,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding: a position, the check that produced it, and a
@@ -47,6 +48,14 @@ type Pass struct {
 
 	check  string
 	report func(Diagnostic)
+
+	// graph and mod are the interprocedural layer (machlint v3): the
+	// package's resolved call graph with per-function summaries, and the
+	// module-wide index behind it. RunAnalyzers builds them once per run;
+	// they are nil in unit tests that construct a Pass by hand, and every
+	// analyzer degrades to its intraprocedural behavior in that case.
+	graph *callGraph
+	mod   *moduleIndex
 }
 
 // Reportf records a diagnostic at pos.
@@ -82,11 +91,23 @@ type Analyzer struct {
 // IgnorePrefix starts a suppression directive comment.
 const IgnorePrefix = "//lint:ignore"
 
-// ignoreDirective is one parsed `//lint:ignore <check> <reason>` comment.
+// DerivedPrefix starts a derived-state annotation: `//lint:derived <reason>`
+// on (or above) a mutable struct field tells statecheck the field is
+// deliberately not serialized because Restore recomputes it (wake plans,
+// per-frame scratch, execution configuration). It is sugar for
+// `//lint:ignore statecheck <reason>` with its own vocabulary, and the
+// staleignore pass flags annotations whose field became covered or vanished.
+const DerivedPrefix = "//lint:derived"
+
+// ignoreDirective is one parsed `//lint:ignore <check> <reason>` or
+// `//lint:derived <reason>` comment.
 type ignoreDirective struct {
 	pos    token.Position
 	checks []string // "all" matches any check
 	reason string
+	// derived marks the //lint:derived spelling, which scopes itself to
+	// statecheck and gets its own staleness wording.
+	derived bool
 	// used records whether the directive suppressed at least one raw
 	// diagnostic in this run; StaleIgnore reports the ones that did not.
 	used bool
@@ -108,6 +129,25 @@ func parseDirectives(fset *token.FileSet, f *ast.File, report func(Diagnostic)) 
 	var ds []*ignoreDirective
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, DerivedPrefix) {
+				pos := fset.Position(c.Pos())
+				reason := strings.TrimSpace(strings.TrimPrefix(c.Text, DerivedPrefix))
+				if reason == "" {
+					report(Diagnostic{
+						Pos:     pos,
+						Check:   "lintdirective",
+						Message: "malformed lint:derived directive: want //lint:derived <why Restore recomputes this field>",
+					})
+					continue
+				}
+				ds = append(ds, &ignoreDirective{
+					pos:     pos,
+					checks:  []string{"statecheck"},
+					reason:  reason,
+					derived: true,
+				})
+				continue
+			}
 			if !strings.HasPrefix(c.Text, IgnorePrefix) {
 				continue
 			}
@@ -150,9 +190,24 @@ func suppressed(d Diagnostic, ds []*ignoreDirective) bool {
 	return hit
 }
 
+// AnalyzerTiming is the wall time one analyzer spent across every package
+// of a run (plus the "engine" pseudo-row for call-graph and summary
+// construction), surfaced by `machlint -timing`.
+type AnalyzerTiming struct {
+	Name   string  `json:"name"`
+	Millis float64 `json:"millis"`
+}
+
 // RunAnalyzers applies every analyzer to every package and returns the
 // surviving (non-suppressed) diagnostics sorted by position.
 func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunAnalyzersTimed(fset, pkgs, analyzers)
+	return diags
+}
+
+// RunAnalyzersTimed is RunAnalyzers plus per-analyzer wall time: the engine
+// row first, then the analyzers in the order given.
+func RunAnalyzersTimed(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming) {
 	var raw []Diagnostic
 	collect := func(d Diagnostic) { raw = append(raw, d) }
 
@@ -162,6 +217,10 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) [
 			directives = append(directives, parseDirectives(fset, f, collect)...)
 		}
 	}
+
+	engineStart := time.Now()
+	mod := buildModuleIndex(fset, pkgs)
+	spent := map[string]time.Duration{"engine": time.Since(engineStart)}
 
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -173,9 +232,18 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) [
 				Info:   pkg.Info,
 				check:  a.Name,
 				report: collect,
+				graph:  mod.graphs[pkg.Path],
+				mod:    mod,
 			}
+			t0 := time.Now()
 			a.Run(pass)
+			spent[a.Name] += time.Since(t0)
 		}
+	}
+
+	timings := []AnalyzerTiming{{Name: "engine", Millis: float64(spent["engine"]) / float64(time.Millisecond)}}
+	for _, a := range analyzers {
+		timings = append(timings, AnalyzerTiming{Name: a.Name, Millis: float64(spent[a.Name]) / float64(time.Millisecond)})
 	}
 
 	var out []Diagnostic
@@ -198,7 +266,7 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) [
 		}
 		return a.Check < b.Check
 	})
-	return out
+	return out, timings
 }
 
 // StaleIgnore flags `//lint:ignore` directives that no longer suppress any
@@ -245,11 +313,15 @@ func staleDirectives(directives []*ignoreDirective, analyzers []*Analyzer) []Dia
 		if !applicable {
 			continue
 		}
+		msg := fmt.Sprintf("lint:ignore %s directive suppresses no finding; the violation it excused is gone — delete the directive",
+			strings.Join(dir.checks, ","))
+		if dir.derived {
+			msg = "lint:derived annotation marks no un-snapshotted field; the field it excused is now covered or gone — delete the annotation"
+		}
 		out = append(out, Diagnostic{
-			Pos:   dir.pos,
-			Check: StaleIgnore.Name,
-			Message: fmt.Sprintf("lint:ignore %s directive suppresses no finding; the violation it excused is gone — delete the directive",
-				strings.Join(dir.checks, ",")),
+			Pos:     dir.pos,
+			Check:   StaleIgnore.Name,
+			Message: msg,
 		})
 	}
 	return out
@@ -262,6 +334,8 @@ func All() []*Analyzer {
 		UnitSafety,
 		UnitFlow,
 		LedgerCheck,
+		StateCheck,
+		PurityCheck,
 		PathCheck,
 		FloatEq,
 		SelfCompare,

@@ -1,0 +1,559 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StateCheck machine-enforces the checkpoint invariant PR 5 hand-wired
+// (DESIGN.md "Checkpoint/Resume"): every type with a Snapshot/Restore pair
+// must keep its mutable state and its snapshot schema in sync. The energy
+// headlines rest on deterministic, resumable long runs; the failure mode
+// this analyzer exists for is adding a mutable field to dram.Memory or
+// mach.Writeback and forgetting the snapshot struct — the run resumes,
+// diverges silently, and the golden Results stop meaning anything.
+//
+// For each named struct type T declaring both a Snapshot and a Restore
+// method, the analyzer proves three things using the call graph:
+//
+//  1. coverage — every mutable field of T (written, directly or through a
+//     `p := &t.field` alias, in code reachable outside T's constructors and
+//     the pair itself) is written again by code reachable from Restore, or
+//     carries a `//lint:derived <reason>` annotation explaining why Restore
+//     recomputes it instead (per-frame transients, execution configuration);
+//  2. schema liveness — every field of the snapshot struct S (Snapshot's
+//     result type, or the local S unmarshaled inside Restore) is populated
+//     by Snapshot-reachable code and consumed by Restore-reachable code;
+//     a dead field means the schema and the state drifted;
+//  3. validation — a Restore without an error result may only consume
+//     scalar snapshots (slices/maps/pointers can be malformed, and DESIGN.md
+//     requires untrusted payloads to be rejected, not trusted), and a loop
+//     that copies a snapshot slice into receiver state by index must be
+//     guarded by a len() comparison against that slice.
+//
+// Mutation through method calls does not count as a field write: a field
+// holding a component with its own Snapshot/Restore pair is that pair's
+// responsibility (the checks compose the way the snapshots do).
+var StateCheck = &Analyzer{
+	Name: "statecheck",
+	Doc: "prove Snapshot/Restore coverage: every mutable field of a snapshottable type is " +
+		"restored or annotated //lint:derived, every snapshot-struct field is populated and " +
+		"consumed, and Restore validates non-scalar payloads",
+	Run: runStateCheck,
+}
+
+// srPair is one Snapshot/Restore pair under analysis.
+type srPair struct {
+	typ  *types.Named
+	snap *funcNode
+	rest *funcNode
+}
+
+func runStateCheck(pass *Pass) {
+	g := pass.graph
+	if g == nil {
+		return
+	}
+	for _, pair := range findPairs(pass, g) {
+		checkPair(pass, g, pair)
+	}
+}
+
+// findPairs returns every named struct type of the package with both a
+// Snapshot and a Restore method whose bodies are in this package.
+func findPairs(pass *Pass, g *callGraph) []*srPair {
+	var pairs []*srPair
+	scope := pass.Pkg.Scope()
+	for _, nm := range scope.Names() {
+		tn, ok := scope.Lookup(nm).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			continue
+		}
+		var snap, rest *funcNode
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			switch m.Name() {
+			case "Snapshot":
+				snap = g.nodeOf(m)
+			case "Restore":
+				rest = g.nodeOf(m)
+			}
+		}
+		if snap != nil && rest != nil {
+			pairs = append(pairs, &srPair{typ: named, snap: snap, rest: rest})
+		}
+	}
+	return pairs
+}
+
+func checkPair(pass *Pass, g *callGraph, pair *srPair) {
+	strct := pair.typ.Underlying().(*types.Struct)
+	fieldPos := structFieldPositions(pass, pair.typ)
+
+	// Mutable fields: written in code reachable from any declared function
+	// that is neither a constructor of T nor the pair itself. Constructor
+	// writes initialize, they do not mutate; the pair's own writes are the
+	// mechanism under test, not evidence of mutability. The traversal must
+	// also refuse to step INTO excluded nodes — core.Run calls NewRunner,
+	// and following that edge would drag every initializer write back in.
+	excluded := map[*funcNode]bool{pair.snap: true, pair.rest: true}
+	for _, n := range g.nodes {
+		if n.fn != nil && isConstructorOf(n, pair.typ) {
+			excluded[n] = true
+		}
+	}
+	var roots []*funcNode
+	for _, n := range g.nodes {
+		if n.fn == nil || excluded[n] {
+			continue
+		}
+		roots = append(roots, n)
+	}
+	mutable := map[string]token.Pos{}
+	for n := range reachableExcluding(g, roots, excluded) {
+		collectFieldWrites(pass, n, pair.typ, mutable)
+	}
+
+	restored := map[string]token.Pos{}
+	for n := range g.reachableFrom(pair.rest) {
+		collectFieldWrites(pass, n, pair.typ, restored)
+	}
+
+	restName := "(*" + pair.typ.Obj().Name() + ").Restore"
+	for i := 0; i < strct.NumFields(); i++ {
+		f := strct.Field(i)
+		if _, isMutable := mutable[f.Name()]; !isMutable {
+			continue
+		}
+		if _, ok := restored[f.Name()]; ok {
+			continue
+		}
+		pos, ok := fieldPos[f.Name()]
+		if !ok {
+			pos = mutable[f.Name()]
+		}
+		pass.Reportf(pos, "mutable field %s.%s is not restored by %s; serialize it in the snapshot state or annotate it //lint:derived <why Restore recomputes it>",
+			pair.typ.Obj().Name(), f.Name(), restName)
+	}
+
+	snapStruct := snapshotStruct(pass, pair)
+	if snapStruct != nil {
+		checkSchema(pass, g, pair, snapStruct)
+	}
+	checkValidation(pass, pair, snapStruct)
+}
+
+// reachableExcluding is reachableFrom with a fence: the walk never enters an
+// excluded node, so a constructor called from ordinary code (core.Run →
+// NewRunner) does not contribute its initializer writes.
+func reachableExcluding(g *callGraph, roots []*funcNode, excluded map[*funcNode]bool) map[*funcNode]bool {
+	seen := map[*funcNode]bool{}
+	var walk func(n *funcNode)
+	walk = func(n *funcNode) {
+		if n == nil || seen[n] || excluded[n] {
+			return
+		}
+		seen[n] = true
+		for _, o := range n.out {
+			walk(o)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return seen
+}
+
+// isConstructorOf reports whether a declared function returns T or *T (a
+// constructor or rebuilder, like NewRunner or LoadCheckpoint).
+func isConstructorOf(n *funcNode, named *types.Named) bool {
+	if n.sig == nil {
+		return false
+	}
+	res := n.sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		t := res.At(i).Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if t == named.Origin() || types.Identical(t, named) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectFieldWrites records, into out, the fields of T written inside one
+// function node: direct assignments, ++/--, and delete() whose target chain
+// is rooted at a variable of type T/*T, plus writes through a local alias
+// `p := &t.field…`. Method calls never count.
+func collectFieldWrites(pass *Pass, n *funcNode, named *types.Named, out map[string]token.Pos) {
+	// aliasField maps a local pointer variable to the T field it addresses.
+	aliasField := map[*types.Var]string{}
+	fieldOf := func(e ast.Expr) (string, bool) {
+		return rootFieldOf(pass, e, named, aliasField)
+	}
+	record := func(e ast.Expr) {
+		// A bare ident as the write target (re)binds the local itself —
+		// including the `f := &t.field` statement that created an alias —
+		// and never mutates T; only chains through the alias (f.X, *f) do.
+		if _, bare := ast.Unparen(e).(*ast.Ident); bare {
+			return
+		}
+		if f, ok := fieldOf(e); ok {
+			if _, seen := out[f]; !seen {
+				out[f] = e.Pos()
+			}
+		}
+	}
+	// Alias pass first (flow-insensitive; an alias taken after the write it
+	// sanctions would be exotic enough to deserve the miss).
+	walkOwnLevel(n.body, func(nd ast.Node) {
+		a, ok := nd.(*ast.AssignStmt)
+		if !ok || (a.Tok != token.ASSIGN && a.Tok != token.DEFINE) {
+			return
+		}
+		pairs := assignTargets(a)
+		for _, p := range pairs {
+			un, ok := ast.Unparen(p[1]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			v := lhsVar(pass, p[0])
+			if v == nil {
+				continue
+			}
+			if f, ok := fieldOf(un.X); ok {
+				aliasField[v] = f
+			}
+		}
+	})
+	walkOwnLevel(n.body, func(nd ast.Node) {
+		switch nd := nd.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range nd.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(nd.X)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(nd.Fun).(*ast.Ident); ok && id.Name == "delete" && len(nd.Args) == 2 {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					record(nd.Args[0])
+				}
+			}
+		}
+	})
+}
+
+// rootFieldOf unwraps an lvalue chain to the first field selected off a
+// variable of type T/*T (or off an alias of such a field).
+func rootFieldOf(pass *Pass, e ast.Expr, named *types.Named, aliasField map[*types.Var]string) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pass.Info.ObjectOf(e).(*types.Var); ok {
+			if f, ok := aliasField[v]; ok {
+				return f, true
+			}
+		}
+		return "", false
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if v, ok := pass.Info.ObjectOf(id).(*types.Var); ok && isTypeVar(v, named) {
+				return e.Sel.Name, true
+			}
+		}
+		return rootFieldOf(pass, e.X, named, aliasField)
+	case *ast.IndexExpr:
+		return rootFieldOf(pass, e.X, named, aliasField)
+	case *ast.SliceExpr:
+		return rootFieldOf(pass, e.X, named, aliasField)
+	case *ast.StarExpr:
+		return rootFieldOf(pass, e.X, named, aliasField)
+	}
+	return "", false
+}
+
+func isTypeVar(v *types.Var, named *types.Named) bool {
+	t := v.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Origin() == named.Origin()
+}
+
+// snapshotStruct resolves the pair's snapshot schema S: Snapshot's first
+// named-struct result, or (for byte-payload snapshots like the core
+// Runner's JSON state) the first local struct variable declared inside
+// Restore — the unmarshal target.
+func snapshotStruct(pass *Pass, pair *srPair) *types.Named {
+	if sig := pair.snap.sig; sig != nil {
+		for i := 0; i < sig.Results().Len(); i++ {
+			if named := localNamedStruct(pass, sig.Results().At(i).Type()); named != nil {
+				return named
+			}
+		}
+	}
+	var found *types.Named
+	walkOwnLevel(pair.rest.body, func(nd ast.Node) {
+		vs, ok := nd.(*ast.ValueSpec)
+		if !ok || found != nil || len(vs.Names) == 0 {
+			return
+		}
+		if v, ok := pass.Info.Defs[vs.Names[0]].(*types.Var); ok {
+			if named := localNamedStruct(pass, v.Type()); named != nil {
+				found = named
+			}
+		}
+	})
+	return found
+}
+
+// localNamedStruct returns t as a named struct declared in this package.
+func localNamedStruct(pass *Pass, t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() != pass.Pkg {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// checkSchema proves every field of the snapshot struct is populated on the
+// Snapshot side and consumed on the Restore side.
+func checkSchema(pass *Pass, g *callGraph, pair *srPair, snapStruct *types.Named) {
+	strct := snapStruct.Underlying().(*types.Struct)
+	fieldPos := structFieldPositions(pass, snapStruct)
+
+	populated := map[string]bool{}
+	for n := range g.reachableFrom(pair.snap) {
+		collectSchemaUses(pass, n, snapStruct, populated)
+	}
+	consumed := map[string]bool{}
+	for n := range g.reachableFrom(pair.rest) {
+		collectSchemaUses(pass, n, snapStruct, consumed)
+	}
+
+	tName := pair.typ.Obj().Name()
+	for i := 0; i < strct.NumFields(); i++ {
+		f := strct.Field(i)
+		pos, ok := fieldPos[f.Name()]
+		if !ok {
+			pos = snapStruct.Obj().Pos()
+		}
+		if !populated[f.Name()] {
+			pass.Reportf(pos, "snapshot field %s.%s is never populated by (*%s).Snapshot — the schema drifted from the state",
+				snapStruct.Obj().Name(), f.Name(), tName)
+		}
+		if !consumed[f.Name()] {
+			pass.Reportf(pos, "snapshot field %s.%s is never consumed by (*%s).Restore — dead snapshot state",
+				snapStruct.Obj().Name(), f.Name(), tName)
+		}
+	}
+}
+
+// collectSchemaUses marks the fields of S touched inside one node: any
+// selection of the field on an S-typed operand, a keyed composite-literal
+// entry, or an unkeyed S literal (which touches every field).
+func collectSchemaUses(pass *Pass, n *funcNode, snapStruct *types.Named, out map[string]bool) {
+	strct := snapStruct.Underlying().(*types.Struct)
+	walkOwnLevel(n.body, func(nd ast.Node) {
+		switch nd := nd.(type) {
+		case *ast.SelectorExpr:
+			if tv, ok := pass.Info.Types[nd.X]; ok {
+				if named := localNamedStruct(pass, tv.Type); named != nil && named.Origin() == snapStruct.Origin() {
+					out[nd.Sel.Name] = true
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := pass.Info.Types[nd]
+			if !ok {
+				return
+			}
+			named := localNamedStruct(pass, tv.Type)
+			if named == nil || named.Origin() != snapStruct.Origin() {
+				return
+			}
+			keyed := false
+			for _, el := range nd.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					keyed = true
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+				}
+			}
+			if !keyed && len(nd.Elts) > 0 {
+				for i := 0; i < strct.NumFields(); i++ {
+					out[strct.Field(i).Name()] = true
+				}
+			}
+		}
+	})
+}
+
+// checkValidation enforces the untrusted-payload rules on Restore.
+func checkValidation(pass *Pass, pair *srPair, snapStruct *types.Named) {
+	restName := "(*" + pair.typ.Obj().Name() + ").Restore"
+	hasErr := false
+	if sig := pair.rest.sig; sig != nil {
+		for i := 0; i < sig.Results().Len(); i++ {
+			if named, ok := sig.Results().At(i).Type().(*types.Named); ok && named.Obj().Name() == "error" {
+				hasErr = true
+			}
+		}
+	}
+	if !hasErr && snapStruct != nil {
+		strct := snapStruct.Underlying().(*types.Struct)
+		for i := 0; i < strct.NumFields(); i++ {
+			switch strct.Field(i).Type().Underlying().(type) {
+			case *types.Slice, *types.Map, *types.Pointer:
+				pass.Reportf(pair.rest.body.Pos(), "%s consumes snapshot field %s.%s (%s) but returns no error; non-scalar payloads from untrusted files must be validated and rejected",
+					restName, snapStruct.Obj().Name(), strct.Field(i).Name(), strct.Field(i).Type().Underlying().String())
+				return // one finding per pair is enough to force the signature change
+			}
+		}
+	}
+	if snapStruct == nil {
+		return
+	}
+	// A loop copying a snapshot slice into receiver state by index relies
+	// on the two shapes matching; require a len() comparison on the slice.
+	walkOwnLevel(pair.rest.body, func(nd ast.Node) {
+		rng, ok := nd.(*ast.RangeStmt)
+		if !ok || rng.Key == nil {
+			return
+		}
+		sel, ok := ast.Unparen(rng.X).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		tvX, ok := pass.Info.Types[sel.X]
+		if !ok {
+			return
+		}
+		named := localNamedStruct(pass, tvX.Type)
+		if named == nil || named.Origin() != snapStruct.Origin() {
+			return
+		}
+		if tv, ok := pass.Info.Types[rng.X]; !ok {
+			return
+		} else if _, isSlice := tv.Type.Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		key, _ := pass.Info.ObjectOf(keyIdent(rng)).(*types.Var)
+		if key == nil || !rangeWritesReceiverByKey(pass, pair.typ, rng, key) {
+			return
+		}
+		want := "len(" + pass.ExprString(rng.X) + ")"
+		if !lenCompared(pass, pair.rest.body, want) {
+			pass.Reportf(rng.Pos(), "%s copies %s into receiver state by index without comparing %s against the receiver's shape; validate the length first",
+				restName, pass.ExprString(rng.X), want)
+		}
+	})
+}
+
+func keyIdent(rng *ast.RangeStmt) *ast.Ident {
+	id, _ := rng.Key.(*ast.Ident)
+	return id
+}
+
+// rangeWritesReceiverByKey reports whether the range body assigns through an
+// index expression whose index reads the range key and whose chain roots at
+// a variable of type T.
+func rangeWritesReceiverByKey(pass *Pass, named *types.Named, rng *ast.RangeStmt, key *types.Var) bool {
+	found := false
+	ast.Inspect(rng.Body, func(nd ast.Node) bool {
+		a, ok := nd.(*ast.AssignStmt)
+		if !ok || found {
+			return !found
+		}
+		for _, lhs := range a.Lhs {
+			idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			if !exprReadsVar(pass, idx.Index, key) {
+				continue
+			}
+			if _, ok := rootFieldOf(pass, idx.X, named, nil); ok {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// lenCompared reports whether the body contains a comparison with len(X)
+// (matched textually) on either side.
+func lenCompared(pass *Pass, body *ast.BlockStmt, want string) bool {
+	found := false
+	walkOwnLevel(body, func(nd ast.Node) {
+		be, ok := nd.(*ast.BinaryExpr)
+		if !ok || found {
+			return
+		}
+		switch be.Op {
+		case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+		default:
+			return
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			call, ok := ast.Unparen(side).(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				continue
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "len" {
+				continue
+			}
+			if pass.ExprString(side) == want {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// structFieldPositions maps field names of a named struct to their
+// declaration positions (so //lint:derived on the line above suppresses).
+func structFieldPositions(pass *Pass, named *types.Named) map[string]token.Pos {
+	out := map[string]token.Pos{}
+	obj := named.Obj()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(nd ast.Node) bool {
+			ts, ok := nd.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			if pass.Info.Defs[ts.Name] != obj {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return false
+			}
+			for _, fld := range st.Fields.List {
+				for _, nm := range fld.Names {
+					out[nm.Name] = nm.Pos()
+				}
+			}
+			return false
+		})
+	}
+	return out
+}

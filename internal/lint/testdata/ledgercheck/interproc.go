@@ -1,0 +1,50 @@
+// Corpus: interprocedural producers and sinks (machlint v3). A helper
+// returning joules through a plain float64 is a producer by its summary,
+// not by its declared type; a callee that accumulates its parameter into
+// an energy ledger is a sink one call away. Every joule still lands in
+// exactly one ledger.
+package ledgerinterproc
+
+type Joules float64
+
+type Breakdown struct{ total float64 }
+
+func (b *Breakdown) Add(e float64) { b.total += e }
+
+type meter struct{ sumPJ float64 }
+
+// deposit accumulates its parameter into an energy-suffixed field, so the
+// parameter is an accumulator sink in deposit's summary.
+func (m *meter) deposit(e float64) {
+	m.sumPJ += e
+}
+
+// frameEnergy is a producer by summary: joules out through plain float64.
+func frameEnergy(j Joules) float64 { return float64(j) }
+
+func dropped(j Joules) {
+	frameEnergy(j) // want "result of frameEnergy\(j\) carries energy but is discarded"
+}
+
+func deadStore(j Joules) float64 {
+	e := frameEnergy(j) // want "energy assigned to \"e\" is never accumulated or read"
+	e = 0
+	return e
+}
+
+func doubleCounted(j Joules, m *meter, b *Breakdown) {
+	e := frameEnergy(j) // want "flows into 2 accumulators \(b.Add, m.deposit\)"
+	m.deposit(e)
+	b.Add(e)
+}
+
+// One sink — the interprocedural one — is exactly right.
+func singleSink(j Joules, m *meter) {
+	e := frameEnergy(j)
+	m.deposit(e)
+}
+
+// The explicit, greppable discard always passes.
+func explicitDiscard(j Joules) {
+	_ = frameEnergy(j)
+}

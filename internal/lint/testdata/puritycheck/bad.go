@@ -1,0 +1,69 @@
+// Corpus: impure par workers. The Pool type is declared locally (matching
+// is by method name on a named Pool receiver, like the unitflow dimension
+// table) so the file type-checks standalone. Each worker below breaks the
+// parallel-equals-sequential guarantee a different way: a captured write,
+// shared map iteration, package-level state, a shared bound receiver, and
+// an impure closure smuggled through a forwarding layer.
+package puritybad
+
+type Pool struct{ n int }
+
+func (p *Pool) Map(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func (p *Pool) ForShards(n, grain int, fn func(lo, hi int)) {
+	fn(0, n)
+}
+
+var hits int
+
+type counter struct{ total int }
+
+func (c *counter) bump(i int) {
+	c.total += i
+}
+
+func capturedWrite(p *Pool, xs []int) int {
+	shared := 0
+	p.Map(len(xs), func(i int) { // want "writes state shared across workers: writes shared"
+		shared += xs[i]
+	})
+	return shared
+}
+
+func sharedMapRange(p *Pool, m map[int]int, out []int) {
+	p.Map(len(out), func(i int) { // want "iterates a shared map in nondeterministic order: ranges over map m"
+		sum := 0
+		for _, v := range m {
+			sum += v
+		}
+		out[i] = sum
+	})
+}
+
+func globalWrite(p *Pool) {
+	p.ForShards(8, 2, func(lo, hi int) { // want "writes package-level state: writes hits"
+		hits += hi - lo
+	})
+}
+
+func methodValueWorker(p *Pool, c *counter) {
+	p.Map(4, c.bump) // want "writes its bound receiver, shared by every worker"
+}
+
+// runIsolated forwards fn into the pool, so the purity obligation follows
+// the parameter back to each call site, where the closure resolves.
+func runIsolated(p *Pool, n int, fn func(int)) {
+	p.Map(n, fn)
+}
+
+func forwardedImpure(p *Pool) int {
+	total := 0
+	runIsolated(p, 4, func(i int) { // want "writes state shared across workers: writes total"
+		total += i
+	})
+	return total
+}

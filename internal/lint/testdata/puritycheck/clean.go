@@ -1,0 +1,68 @@
+// Corpus: pure par workers — the false-positive guards. Worker-owned
+// slots of a shared slice, `:=` rebinding of locals, value-copy mutation
+// of a captured config struct, fresh state built inside the worker, pure
+// helpers reached through recursion and through interface dispatch with
+// several implementations: none of it is a shared effect.
+package purityclean
+
+type Pool struct{ n int }
+
+func (p *Pool) Map(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func (p *Pool) ForShards(n, grain int, fn func(lo, hi int)) {
+	fn(0, n)
+}
+
+type result struct{ v int }
+
+type shaper interface{ shape(int) int }
+
+type flat struct{}
+
+func (flat) shape(i int) int { return i }
+
+type steep struct{ k int }
+
+func (s steep) shape(i int) int { return i * s.k }
+
+func fib(n int) int {
+	if n < 2 {
+		return n
+	}
+	return fib(n-1) + fib(n-2)
+}
+
+func build(i int) (*result, error) {
+	return &result{v: i}, nil
+}
+
+func runClean(p *Pool, xs []int, s shaper) []int {
+	out := make([]int, len(xs))
+	p.Map(len(xs), func(i int) {
+		res, err := build(xs[i]) // := rebinds locals; not a shared write
+		if err != nil {
+			return
+		}
+		v := fib(res.v)
+		v = s.shape(v) // both implementations are pure
+		res.v = v      // fresh state owned by this worker
+		out[i] = v     // slot selected by the worker-local index
+	})
+	return out
+}
+
+type config struct{ depth int }
+
+func runShards(p *Pool, cfg config, out []int) {
+	p.ForShards(len(out), 8, func(lo, hi int) {
+		c := cfg // value copy: mutating it cannot escape the worker
+		c.depth++
+		for i := lo; i < hi; i++ {
+			out[i] = c.depth
+		}
+	})
+}

@@ -1,0 +1,32 @@
+// Corpus: Snapshot/Restore coverage violations. The pair below forgets a
+// mutable field and drags a dead field around in its schema — exactly the
+// drift statecheck exists to catch: the run resumes, silently diverges,
+// and the golden Results stop meaning anything.
+package statecheckbad
+
+// State is the snapshot schema for M.
+type State struct {
+	X    int64
+	Dead int64 // want "snapshot field State.Dead is never populated" "snapshot field State.Dead is never consumed"
+}
+
+// M is snapshottable state with one covered and one forgotten field.
+type M struct {
+	x    int64
+	lost int64 // want "mutable field M.lost is not restored"
+}
+
+// Step mutates both fields outside any constructor.
+func (m *M) Step() {
+	m.x++
+	m.lost++
+}
+
+func (m *M) Snapshot() State {
+	return State{X: m.x}
+}
+
+func (m *M) Restore(st State) error {
+	m.x = st.X
+	return nil
+}

@@ -1,0 +1,70 @@
+// Corpus: a fully covered Snapshot/Restore pair — the false-positive
+// guards. Constructor writes are initialization, not mutation; a field
+// mutated only through a `p := &c.field` alias still counts and is still
+// covered; restore work done by a helper reached from Restore counts; and
+// a deliberately unserialized scratch field is excused by //lint:derived.
+package statecheckclean
+
+type restoreError string
+
+func (e restoreError) Error() string { return string(e) }
+
+// CState is the snapshot schema: every field populated and consumed.
+type CState struct {
+	Vals []int64
+	N    int64
+}
+
+type C struct {
+	vals []int64
+	n    int64
+	//lint:derived scratch is rebuilt from vals by every Work call before it is read; dead between frames
+	scratch []int64
+	// cursor is only written by the constructor, so it is configuration,
+	// not mutable state, and needs no coverage.
+	cursor int
+}
+
+// NewC initializes every field; none of these writes marks a field mutable,
+// even though ordinary code (churn, below) calls the constructor — the
+// reachability fence must not step into it.
+func NewC(n int) *C {
+	c := &C{vals: make([]int64, n)}
+	c.cursor = 1
+	return c
+}
+
+// churn is ordinary code calling the constructor; the cursor write inside
+// NewC must not leak out as evidence of mutability.
+func churn() int {
+	c := NewC(4)
+	c.Work()
+	return c.cursor
+}
+
+func (c *C) Work() {
+	c.scratch = append(c.scratch[:0], c.vals...)
+	c.vals[0]++
+	p := &c.n
+	*p = *p + 1
+}
+
+func (c *C) Snapshot() CState {
+	return CState{Vals: append([]int64(nil), c.vals...), N: c.n}
+}
+
+func (c *C) Restore(st CState) error {
+	if len(st.Vals) != len(c.vals) {
+		return restoreError("shape mismatch")
+	}
+	for i, v := range st.Vals {
+		c.vals[i] = v
+	}
+	c.applyN(st.N)
+	return nil
+}
+
+// applyN restores n one call below Restore; reachability covers it.
+func (c *C) applyN(n int64) {
+	c.n = n
+}

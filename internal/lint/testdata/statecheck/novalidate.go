@@ -1,0 +1,53 @@
+// Corpus: Restore validation violations. A checkpoint file is an untrusted
+// payload: a Restore that consumes slices without an error result cannot
+// reject a malformed one, and an index-copy loop without a length check
+// walks off the receiver's shape.
+package statechecknoval
+
+// BufState carries a non-scalar payload, so Restore must be able to fail.
+type BufState struct {
+	Lines []int64
+}
+
+type B struct {
+	lines []int64
+}
+
+func (b *B) Tick() {
+	b.lines[0]++
+}
+
+func (b *B) Snapshot() BufState {
+	return BufState{Lines: append([]int64(nil), b.lines...)}
+}
+
+func (b *B) Restore(st BufState) { // want "returns no error; non-scalar payloads from untrusted files must be validated"
+	for i, v := range st.Lines {
+		b.lines[i] = v
+	}
+}
+
+// LState's Restore can fail, but never compares the payload length against
+// the receiver before copying by index.
+type LState struct {
+	Vals []int64
+}
+
+type L struct {
+	vals []int64
+}
+
+func (l *L) Bump() {
+	l.vals[0]++
+}
+
+func (l *L) Snapshot() LState {
+	return LState{Vals: append([]int64(nil), l.vals...)}
+}
+
+func (l *L) Restore(st LState) error {
+	for i, v := range st.Vals { // want "copies st.Vals into receiver state by index without comparing len\(st.Vals\)"
+		l.vals[i] = v
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+// Corpus: interprocedural dimension flow (machlint v3). Function summaries
+// carry result and parameter dimensions across calls, so a Joules total
+// returned through a plain float64 still refuses to meet power, and a plain
+// float64 parameter a callee adds to joules expects joules at every call
+// site. The guards: interface dispatch whose implementations disagree makes
+// the dimension unknown (not a finding), and a recursive SCC converges
+// without spurious conflicts.
+package unitflowinterproc
+
+type Joules float64
+type Watts float64
+type Time int64
+
+// totalEnergy returns joules through a plain float64; the summary keeps
+// the dimension across the call boundary.
+func totalEnergy(j Joules) float64 { return float64(j) }
+
+func totalPower(w Watts) float64 { return float64(w) }
+
+func mixAcrossCalls(j Joules, w Watts) float64 {
+	e := totalEnergy(j)
+	p := totalPower(w)
+	return e + p // want "mixes e \(energy \(J\)\) with p \(power \(W\)\)"
+}
+
+// drain subtracts its plain parameter from joules, so the parameter is
+// inferred to carry energy; feeding it watts at a call site is a conflict.
+func drain(reserve Joules, e float64) float64 { return float64(reserve) - e }
+
+func misuse(j Joules, w Watts) float64 {
+	ok := drain(j, float64(j))
+	bad := drain(j, float64(w)) // want "argument float64\(w\) carries power \(W\) but .*drain uses this parameter as energy \(J\)"
+	return ok + bad
+}
+
+type source interface{ emit() float64 }
+
+type battery struct{ j Joules }
+
+func (b battery) emit() float64 { return float64(b.j) }
+
+type clock struct{ t Time }
+
+func (c clock) emit() float64 { return float64(c.t) }
+
+// The implementations return different dimensions, so the dispatched
+// result is unknown — no finding.
+func dispatchDisagrees(s source, j Joules) float64 {
+	v := s.emit()
+	return v + float64(j)
+}
+
+// Recursion lands in one SCC; the fixpoint must converge and agree with
+// the base case instead of manufacturing a conflict.
+func drainSteps(n int, j Joules) float64 {
+	if n == 0 {
+		return float64(j)
+	}
+	return drainSteps(n-1, j)
+}
+
+func useRecursion(j1, j2 Joules) float64 {
+	return drainSteps(3, j1) + float64(j2)
+}

@@ -174,23 +174,29 @@ type Writeback struct {
 	cfg     Config
 	current *digestCache
 	history []*digestCache // newest first
-	co      *coMach
+	//lint:derived the co-MACH is rebuilt empty at the top of every ProcessFrame (§6.3); it holds no cross-frame state
+	co *coMach
 
 	stats  Stats
 	shadow map[uint64][16]byte // ptr -> content fingerprint (TrackCollisions)
 
 	mabBuf []byte
 	gabBuf []byte
+	//lint:derived per-frame scan cursor, reset when ProcessFrame begins; dead between frames
 	curMab int // ordinal of the mab currently being processed
 
 	// Parallel prehash state: pool shards the pure per-mab digest work,
 	// scratch gives each worker its own block buffers, and pre collects
 	// the per-mab results the serial classification phase consumes.
-	pool    *par.Pool
+	//lint:derived execution configuration installed by SetPool, not simulation state; a restored engine runs sequentially until SetPool is called again
+	pool *par.Pool
+	//lint:derived worker scratch buffers sized by SetPool; contents are per-frame transients
 	scratch []mabScratch
-	pre     prehash
+	//lint:derived per-frame prehash results, fully rewritten by the prehash phase before the classification phase reads them
+	pre prehash
 
 	// coalescing buffer fill levels and flush cursors
+	//lint:derived per-frame flush cursors, zeroed at the top of every ProcessFrame
 	contentFill, ptrFill, baseFill int
 }
 
