@@ -6,6 +6,8 @@
 //	machsim -workload V1 -scheme gab -frames 120
 //	machsim -workload V8 -all -frames 240 -width 640 -height 360
 //	machsim -workload V3 -scheme rts -net flaky -stall-rate 0.2 -net-seed 7
+//	machsim -workload V3 -scheme rts -net lte -bandwidth 1.6 -abr buffer
+//	machsim -workload V3 -scheme gab -net lte -sessions 4 -abr throughput
 //	machsim -workload V1 -frames 2000 -checkpoint run.mckp -checkpoint-every 64
 //	machsim -workload V1 -frames 2000 -checkpoint run.mckp -resume
 //
@@ -64,6 +66,11 @@ func main() {
 		stallRate = flag.Float64("stall-rate", -1, "override per-segment stall-injection probability [0,1] (requires -net)")
 		lossRate  = flag.Float64("loss-rate", -1, "override per-attempt segment-loss probability [0,1] (requires -net)")
 		netSeed   = flag.Int64("net-seed", 0, "override the delivery model seed (requires -net)")
+
+		abrPolicy   = flag.String("abr", "", "adaptive-bitrate policy: fixed|buffer|throughput (requires -net; empty = native stream only)")
+		ladderPath  = flag.String("ladder", "", "MACHLADDER manifest file overriding the built-in bitrate ladder (requires -abr)")
+		sessions    = flag.Int("sessions", 0, "share the link with this many sessions through a contended bottleneck (requires -net; 0/1 = dedicated link)")
+		contendSeed = flag.Int64("contend-seed", 0, "override the bottleneck contention seed (requires -sessions)")
 	)
 	flag.Parse()
 
@@ -114,9 +121,33 @@ func main() {
 		if *netSeed != 0 {
 			d.Seed = *netSeed
 		}
+		if *sessions < 0 {
+			usage("-sessions %d: want a non-negative session count", *sessions)
+		}
+		if *sessions > 1 {
+			d.Bottleneck = mach.Bottleneck{Sessions: *sessions, Seed: *contendSeed}
+		} else if *contendSeed != 0 {
+			usage("-contend-seed needs -sessions > 1 to enable the shared bottleneck")
+		}
 		cfg.Delivery = d
-	} else if *bandwidth != 0 || *stallRate >= 0 || *lossRate >= 0 || *netSeed != 0 {
-		usage("-bandwidth/-stall-rate/-loss-rate/-net-seed need -net to select a profile")
+		if *abrPolicy != "" {
+			if _, err := mach.ABRPolicies(*abrPolicy); err != nil {
+				usage("-abr %s: %v", *abrPolicy, err)
+			}
+			cfg.ABR = mach.ABRConfig{Enabled: true, Policy: *abrPolicy, FixedRung: -1}
+			if *ladderPath != "" {
+				l, err := mach.LoadLadder(*ladderPath)
+				if err != nil {
+					fatal(err)
+				}
+				cfg.ABR.Ladder = l
+			}
+		} else if *ladderPath != "" {
+			usage("-ladder needs -abr to enable the adaptive-bitrate controller")
+		}
+	} else if *bandwidth != 0 || *stallRate >= 0 || *lossRate >= 0 || *netSeed != 0 ||
+		*abrPolicy != "" || *ladderPath != "" || *sessions != 0 || *contendSeed != 0 {
+		usage("-bandwidth/-stall-rate/-loss-rate/-net-seed/-abr/-ladder/-sessions/-contend-seed need -net to select a profile")
 	}
 
 	if *all && (*ckptPath != "" || *resume || *canonical) {
@@ -154,6 +185,9 @@ func main() {
 		if cfg.Delivery.Enabled {
 			hdr = append(hdr, "rebuf", "rebuf-ms", "retries", "radio-mJ")
 		}
+		if cfg.ABR.Enabled {
+			hdr = append(hdr, "switches", "min-rung")
+		}
 		tb := stats.NewTable(hdr...)
 		for _, r := range results {
 			row := []any{r.Scheme.Name,
@@ -168,6 +202,9 @@ func main() {
 					fmt.Sprintf("%.1f", r.RebufferTime.Milliseconds()),
 					r.Net.Retries,
 					fmt.Sprintf("%.2f", 1e3*r.Radio.TotalEnergy()))
+			}
+			if cfg.ABR.Enabled {
+				row = append(row, r.ABR.Switches, r.ABR.MinRung)
 			}
 			tb.AddRow(row...)
 		}

@@ -1,0 +1,217 @@
+package abr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config enables and shapes the adaptive-bitrate controller. The zero value
+// is disabled, which must leave every run bit-identical to the fixed-rung
+// pipeline. The policy is named, not held as an interface, so the config
+// serializes into checkpoint fingerprints like every other knob.
+type Config struct {
+	// Enabled turns the controller on. All other fields are ignored (and
+	// not validated) when false.
+	Enabled bool
+
+	// Policy selects the rung-decision policy: "fixed", "buffer", or
+	// "throughput".
+	Policy string
+
+	// FixedRung is the rung the "fixed" policy pins; -1 means the top rung.
+	// Other policies ignore it.
+	FixedRung int
+
+	// Ladder is the bitrate ladder; nil selects DefaultLadder.
+	Ladder Ladder
+
+	// EWMAAlpha weights the newest throughput sample in the planner's
+	// estimate; 0 selects the 0.3 default.
+	EWMAAlpha float64
+
+	// SafetyFactor is the fraction of estimated throughput the throughput
+	// policy is willing to commit to; 0 selects the 0.7 default.
+	SafetyFactor float64
+}
+
+// Defaults for the EWMA and safety knobs, applied by Normalize.
+const (
+	DefaultEWMAAlpha    = 0.3
+	DefaultSafetyFactor = 0.7
+)
+
+// Normalize returns the config with defaults filled in: the default ladder
+// when none is given, default EWMA/safety knobs, and the top rung for a
+// FixedRung of -1. Callers should Validate the result.
+func (c Config) Normalize() Config {
+	if !c.Enabled {
+		return c
+	}
+	if c.Ladder == nil {
+		c.Ladder = DefaultLadder()
+	}
+	if c.EWMAAlpha == 0 {
+		c.EWMAAlpha = DefaultEWMAAlpha
+	}
+	if c.SafetyFactor == 0 {
+		c.SafetyFactor = DefaultSafetyFactor
+	}
+	if c.FixedRung == -1 {
+		c.FixedRung = c.Ladder.Top()
+	}
+	return c
+}
+
+// Validate reports malformed configurations. A disabled config is always
+// valid, whatever its other fields hold.
+func (c Config) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if err := c.Ladder.Validate(); err != nil {
+		return err
+	}
+	if _, err := PolicyByName(c.Policy); err != nil {
+		return err
+	}
+	if c.FixedRung < 0 || c.FixedRung >= len(c.Ladder) {
+		return fmt.Errorf("abr: fixed rung %d outside ladder of %d rungs", c.FixedRung, len(c.Ladder))
+	}
+	if !(c.EWMAAlpha > 0 && c.EWMAAlpha <= 1) {
+		return fmt.Errorf("abr: EWMA alpha %g outside (0,1]", c.EWMAAlpha)
+	}
+	if !(c.SafetyFactor > 0 && c.SafetyFactor <= 1) {
+		return fmt.Errorf("abr: safety factor %g outside (0,1]", c.SafetyFactor)
+	}
+	return nil
+}
+
+// Observation is what a policy sees at a segment boundary. All fields are
+// computed by the delivery planner; the policy is a pure function of them.
+type Observation struct {
+	// BufferedFrames is the streaming-buffer occupancy: frames downloaded
+	// but not yet consumed by playback. BufferCapFrames is the buffer's
+	// capacity.
+	BufferedFrames  int
+	BufferCapFrames int
+
+	// ThroughputBps is the planner's EWMA download-rate estimate in bytes
+	// per second; 0 means no sample yet (before the first segment).
+	ThroughputBps float64
+
+	// StreamBps is the stream's average top-rung rate in bytes per second,
+	// from the actual trace sizes — rung r costs Ratio(r)*StreamBps — so
+	// ladder manifests port across streams of any scale.
+	StreamBps float64
+
+	// CurrentRung is the rung the previous segment was fetched at.
+	CurrentRung int
+
+	// SafetyFactor is Config.SafetyFactor, passed through by the planner;
+	// 0 means the default. Carried in the observation so policies stay
+	// stateless value types.
+	SafetyFactor float64
+}
+
+// Policy chooses a rung for the next segment. Implementations must be pure:
+// no clocks, no randomness, no mutable state — determinism of the whole
+// delivery schedule rests on it.
+type Policy interface {
+	// Name returns the policy's registry name.
+	Name() string
+	// Decide returns the rung for the next segment, in [0, len(ladder)).
+	Decide(obs Observation, ladder Ladder) int
+}
+
+// PolicyByName maps a policy name to its implementation.
+func PolicyByName(name string) (Policy, error) {
+	switch strings.ToLower(name) {
+	case "fixed":
+		return fixedPolicy{}, nil
+	case "buffer":
+		return bufferPolicy{}, nil
+	case "throughput":
+		return throughputPolicy{}, nil
+	default:
+		return nil, fmt.Errorf("abr: unknown policy %q (want fixed|buffer|throughput)", name)
+	}
+}
+
+// fixedPolicy pins the configured rung — the null policy the bit-identity
+// guarantee and the degradation baselines are stated against. The planner
+// passes the pinned rung in as CurrentRung.
+type fixedPolicy struct{}
+
+func (fixedPolicy) Name() string { return "fixed" }
+
+func (fixedPolicy) Decide(obs Observation, ladder Ladder) int {
+	return clampRung(obs.CurrentRung, ladder)
+}
+
+// bufferPolicy is the BBA-style buffer-occupancy map: below the reservoir
+// it sits at the bottom rung, above the cushion at the top, and in between
+// it maps occupancy linearly onto the ladder. Rate never enters the
+// decision, which is what makes the policy robust to throughput-estimate
+// noise (the BBA argument).
+type bufferPolicy struct{}
+
+func (bufferPolicy) Name() string { return "buffer" }
+
+// Reservoir/cushion as fractions of buffer capacity.
+const (
+	bufferReservoir = 0.25
+	bufferCushion   = 0.75
+)
+
+func (bufferPolicy) Decide(obs Observation, ladder Ladder) int {
+	cap := obs.BufferCapFrames
+	if cap <= 0 {
+		return 0
+	}
+	occ := float64(obs.BufferedFrames) / float64(cap)
+	switch {
+	case occ <= bufferReservoir:
+		return 0
+	case occ >= bufferCushion:
+		return ladder.Top()
+	}
+	// Linear map of (reservoir, cushion) onto (0, top].
+	frac := (occ - bufferReservoir) / (bufferCushion - bufferReservoir)
+	r := int(frac * float64(len(ladder)))
+	return clampRung(r, ladder)
+}
+
+// throughputPolicy picks the highest rung whose rate fits under the safety
+// fraction of the EWMA throughput estimate. With no estimate yet it starts
+// at the bottom rung (conservative startup, like real players).
+type throughputPolicy struct{}
+
+func (throughputPolicy) Name() string { return "throughput" }
+
+func (throughputPolicy) Decide(obs Observation, ladder Ladder) int {
+	if obs.ThroughputBps <= 0 || obs.StreamBps <= 0 {
+		return 0
+	}
+	safety := obs.SafetyFactor
+	if safety <= 0 {
+		safety = DefaultSafetyFactor
+	}
+	budget := safety * obs.ThroughputBps
+	r := 0
+	for i := range ladder {
+		if ladder.Ratio(i)*obs.StreamBps <= budget {
+			r = i
+		}
+	}
+	return r
+}
+
+func clampRung(r int, ladder Ladder) int {
+	if r < 0 {
+		return 0
+	}
+	if r > ladder.Top() {
+		return ladder.Top()
+	}
+	return r
+}

@@ -1,0 +1,173 @@
+package abr
+
+import (
+	"testing"
+)
+
+func TestConfigNormalize(t *testing.T) {
+	// Disabled configs pass through untouched: Normalize must not resurrect
+	// a ladder or knobs that the bit-identity path would then observe.
+	var zero Config
+	if got := zero.Normalize(); got.Ladder != nil || got.EWMAAlpha != 0 || got.SafetyFactor != 0 {
+		t.Fatalf("disabled config mutated by Normalize: %+v", got)
+	}
+
+	c := Config{Enabled: true, Policy: "buffer", FixedRung: -1}.Normalize()
+	if c.Ladder == nil {
+		t.Fatal("Normalize left ladder nil")
+	}
+	if c.EWMAAlpha != DefaultEWMAAlpha || c.SafetyFactor != DefaultSafetyFactor {
+		t.Fatalf("defaults not applied: alpha=%g safety=%g", c.EWMAAlpha, c.SafetyFactor)
+	}
+	if c.FixedRung != c.Ladder.Top() {
+		t.Fatalf("FixedRung -1 resolved to %d, want top %d", c.FixedRung, c.Ladder.Top())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("normalized config invalid: %v", err)
+	}
+
+	// Explicit knobs survive Normalize.
+	c2 := Config{Enabled: true, Policy: "fixed", FixedRung: 2, EWMAAlpha: 0.5, SafetyFactor: 0.9}.Normalize()
+	if c2.EWMAAlpha != 0.5 || c2.SafetyFactor != 0.9 || c2.FixedRung != 2 {
+		t.Fatalf("explicit knobs clobbered: %+v", c2)
+	}
+}
+
+func TestConfigValidateRejections(t *testing.T) {
+	mut := func(f func(*Config)) Config {
+		c := Config{Enabled: true, Policy: "buffer", FixedRung: -1}.Normalize()
+		f(&c)
+		return c
+	}
+	bad := map[string]Config{
+		"bad ladder":       mut(func(c *Config) { c.Ladder = Ladder{} }),
+		"unknown policy":   mut(func(c *Config) { c.Policy = "oracle" }),
+		"rung below zero":  mut(func(c *Config) { c.FixedRung = -2 }),
+		"rung past top":    mut(func(c *Config) { c.FixedRung = len(c.Ladder) }),
+		"alpha zero":       mut(func(c *Config) { c.EWMAAlpha = -0.1 }),
+		"alpha above one":  mut(func(c *Config) { c.EWMAAlpha = 1.5 }),
+		"alpha nan":        mut(func(c *Config) { c.EWMAAlpha = nan() }),
+		"safety negative":  mut(func(c *Config) { c.SafetyFactor = -1 }),
+		"safety above one": mut(func(c *Config) { c.SafetyFactor = 2 }),
+	}
+	for name, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+	// Disabled is always valid, whatever the other fields hold.
+	garbage := Config{Enabled: false, Policy: "oracle", FixedRung: -99, EWMAAlpha: 7}
+	if err := garbage.Validate(); err != nil {
+		t.Errorf("disabled config rejected: %v", err)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"fixed", "buffer", "throughput", "Buffer", "THROUGHPUT"} {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if p.Name() == "" {
+			t.Errorf("%s: empty policy name", name)
+		}
+	}
+	if _, err := PolicyByName("oracle"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestFixedPolicy(t *testing.T) {
+	l := DefaultLadder()
+	p, _ := PolicyByName("fixed")
+	cases := []struct{ cur, want int }{
+		{0, 0}, {2, 2}, {l.Top(), l.Top()},
+		{-1, 0},           // clamped up
+		{len(l), l.Top()}, // clamped down
+	}
+	for _, c := range cases {
+		if got := p.Decide(Observation{CurrentRung: c.cur}, l); got != c.want {
+			t.Errorf("fixed(%d) = %d, want %d", c.cur, got, c.want)
+		}
+	}
+}
+
+func TestBufferPolicy(t *testing.T) {
+	l := DefaultLadder()
+	p, _ := PolicyByName("buffer")
+	decide := func(buffered, capFrames int) int {
+		return p.Decide(Observation{BufferedFrames: buffered, BufferCapFrames: capFrames}, l)
+	}
+	if got := decide(0, 0); got != 0 {
+		t.Errorf("zero-capacity buffer: rung %d, want 0 (defensive bottom)", got)
+	}
+	if got := decide(0, 100); got != 0 {
+		t.Errorf("empty buffer: rung %d, want bottom", got)
+	}
+	if got := decide(25, 100); got != 0 {
+		t.Errorf("at reservoir: rung %d, want bottom", got)
+	}
+	if got := decide(75, 100); got != l.Top() {
+		t.Errorf("at cushion: rung %d, want top %d", got, l.Top())
+	}
+	if got := decide(100, 100); got != l.Top() {
+		t.Errorf("full buffer: rung %d, want top %d", got, l.Top())
+	}
+	mid := decide(50, 100)
+	if mid <= 0 || mid >= l.Top() {
+		t.Errorf("mid-buffer rung %d not strictly between bottom and top", mid)
+	}
+
+	// Monotone in occupancy: more buffer never picks a lower rung. This is
+	// the property the graceful-degradation claim leans on.
+	prev := 0
+	for occ := 0; occ <= 100; occ++ {
+		r := decide(occ, 100)
+		if r < prev {
+			t.Fatalf("occupancy %d%%: rung %d below previous %d (not monotone)", occ, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestThroughputPolicy(t *testing.T) {
+	l := DefaultLadder()
+	p, _ := PolicyByName("throughput")
+	stream := 1e6 // top-rung rate, bytes/s
+	decide := func(tputBps, safety float64) int {
+		return p.Decide(Observation{ThroughputBps: tputBps, StreamBps: stream, SafetyFactor: safety}, l)
+	}
+	if got := p.Decide(Observation{StreamBps: stream}, l); got != 0 {
+		t.Errorf("no throughput sample: rung %d, want conservative bottom", got)
+	}
+	if got := p.Decide(Observation{ThroughputBps: 1e9}, l); got != 0 {
+		t.Errorf("no stream rate: rung %d, want bottom", got)
+	}
+	if got := decide(1e9, 0.7); got != l.Top() {
+		t.Errorf("abundant throughput: rung %d, want top %d", got, l.Top())
+	}
+	if got := decide(1, 0.7); got != 0 {
+		t.Errorf("starved link: rung %d, want bottom", got)
+	}
+	// The safety factor actually gates: a link that fits the top rung only
+	// without headroom drops a rung once safety is applied.
+	if exact, safe := decide(stream, 1.0), decide(stream, 0.7); !(safe < exact) {
+		t.Errorf("safety factor did not gate: exact=%d safe=%d", exact, safe)
+	}
+	// Zero safety in the observation falls back to the default rather than
+	// bricking the policy at rung 0 forever.
+	if got := decide(1e9, 0); got != l.Top() {
+		t.Errorf("default safety fallback: rung %d, want top", got)
+	}
+
+	// Monotone in throughput: a faster estimate never picks a lower rung.
+	prev := 0
+	for bps := 0.0; bps <= 3e6; bps += 1e4 {
+		r := decide(bps, 0.7)
+		if r < prev {
+			t.Fatalf("throughput %.0f: rung %d below previous %d (not monotone)", bps, r, prev)
+		}
+		prev = r
+	}
+}

@@ -1,0 +1,45 @@
+package abr
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzManifestLoad drives the ladder parser with arbitrary bytes: whatever
+// the input, it must either return a ladder that passes Validate or an error
+// wrapping ErrBadManifest — never panic, never hand back a malformed ladder,
+// and never allocate beyond what the size cap bounds.
+func FuzzManifestLoad(f *testing.F) {
+	f.Add([]byte(goodManifest))
+	f.Add([]byte("MACHLADDER v1\n"))
+	f.Add([]byte("MACHLADDER v1\nrung 400 0.4 4\nrung 800 1 0\n"))
+	f.Add([]byte("MACHLADDER v2\nrung 400 1 0\n"))
+	f.Add([]byte("rung 400 1 0\n"))
+	f.Add([]byte("MACHLADDER v1\nrung -1 NaN 99\n"))
+	f.Add([]byte("MACHLADDER v1\n# comment only\n\n"))
+	f.Add([]byte{0xFF, 0x00, 0xFE})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ParseLadder(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadManifest) {
+				t.Fatalf("parse error %v does not wrap ErrBadManifest", err)
+			}
+			if l != nil {
+				t.Fatal("non-nil ladder returned alongside an error")
+			}
+			return
+		}
+		// Whatever parsed must satisfy the same invariants Validate
+		// promises to callers that skip their own checks.
+		if verr := l.Validate(); verr != nil {
+			t.Fatalf("parsed ladder fails Validate: %v", verr)
+		}
+		if len(l) == 0 || len(l) > MaxRungs {
+			t.Fatalf("parsed ladder has %d rungs", len(l))
+		}
+		if l[l.Top()].CostScale != 1 || l[l.Top()].QuantShift != 0 {
+			t.Fatal("parsed ladder's top rung is not the native stream")
+		}
+	})
+}

@@ -54,6 +54,12 @@ type CanonicalResult struct {
 	Mach      mach.Stats       `json:"mach"`
 	Net       delivery.Stats   `json:"net"`
 	Radio     power.RadioStats `json:"radio"`
+
+	// Optional models: omitted entirely when disabled, so the golden
+	// corpus of default runs is byte-identical with or without the ABR
+	// and bottleneck code in the tree.
+	ABR        *ABRStats                 `json:"abr,omitempty"`
+	Contention *delivery.ContentionStats `json:"contention,omitempty"`
 }
 
 // Canonical returns the stable projection of r.
@@ -93,6 +99,14 @@ func (r *Result) Canonical() *CanonicalResult {
 	}
 	for _, k := range r.Energy.Keys() {
 		c.EnergyJ[k] = r.Energy.Get(k)
+	}
+	if r.ABR != nil {
+		a := *r.ABR
+		c.ABR = &a
+	}
+	if r.Contention != nil {
+		ct := *r.Contention
+		c.Contention = &ct
 	}
 	return c
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"mach/internal/abr"
 	"mach/internal/decoder"
 	"mach/internal/delivery"
 	"mach/internal/display"
@@ -33,6 +34,13 @@ type Config struct {
 	// seeded delivery schedule and the pipeline degrades gracefully
 	// (rebuffers, repeats, batch shrinking) when they are late.
 	Delivery delivery.Config
+
+	// ABR is the adaptive-bitrate controller riding on the delivery model:
+	// a rung of the bitrate ladder is chosen per segment at download time
+	// and applied to the pipeline per batch (cheaper decode, coarser MACH
+	// content). Requires Delivery.Enabled; disabled (the zero value), every
+	// run is bit-identical to the fixed-quality pipeline.
+	ABR abr.Config
 
 	// DisplayLatencyFrames is the fixed latency between a frame's release
 	// to the decoder and its scan-out tick: 1 reproduces the paper's
@@ -104,6 +112,12 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Delivery.Validate(); err != nil {
+		return err
+	}
+	if c.ABR.Enabled && !c.Delivery.Enabled {
+		return fmt.Errorf("core: ABR needs the delivery model enabled (rungs are chosen at download time)")
+	}
+	if err := c.ABR.Normalize().Validate(); err != nil {
 		return err
 	}
 	if c.Parallel < 0 || c.Parallel > 256 {

@@ -63,6 +63,12 @@ type Result struct {
 	Net          delivery.Stats
 	Radio        power.RadioStats
 
+	// ABR summarizes the adaptive-bitrate behaviour; Contention the
+	// shared-bottleneck link. Both nil unless the respective model ran,
+	// so default results are unchanged by their existence.
+	ABR        *ABRStats
+	Contention *delivery.ContentionStats
+
 	Mem       dram.Stats
 	MemEnergy dram.Energy
 	Dec       decoder.Stats
@@ -70,6 +76,24 @@ type Result struct {
 	Disp      display.Stats
 	Mach      mach.Stats
 	Ledger    *power.Ledger
+}
+
+// ABRStats summarizes a run's adaptive-bitrate behaviour, both what the
+// delivery planner decided per segment and what the pipeline applied per
+// batch.
+type ABRStats struct {
+	// FinalRung is the rung applied when playback ended; Switches counts
+	// rung changes taken at batch boundaries; RungFrames histograms
+	// decoded frames by applied rung, lowest rung first.
+	FinalRung  int     `json:"final_rung"`
+	Switches   int64   `json:"switches"`
+	RungFrames []int64 `json:"rung_frames"`
+	// PlannedSwitches/SegmentsAtRung/MinRung/MaxRung mirror the delivery
+	// planner's segment-level decisions (delivery.ABRStats).
+	PlannedSwitches int64   `json:"planned_switches"`
+	SegmentsAtRung  []int64 `json:"segments_at_rung"`
+	MinRung         int     `json:"min_rung"`
+	MaxRung         int     `json:"max_rung"`
 }
 
 // TotalEnergy returns the run's total energy in joules.
@@ -130,6 +154,15 @@ func (r *Result) String() string {
 		fmt.Fprintf(&sb, "  net: %d segments (%d KB), %d retries, %d stalls, %d abandoned; startup %.1fms, rebuffer %d/%.1fms, batch shrinks %d\n",
 			r.Net.Segments, r.Net.Bytes/1024, r.Net.Retries, r.Net.Stalls, r.Net.Abandoned,
 			r.StartupDelay.Milliseconds(), r.Rebuffers, r.RebufferTime.Milliseconds(), r.BatchShrinks)
+	}
+	if r.ABR != nil {
+		fmt.Fprintf(&sb, "  abr: rungs %d-%d of %d, %d switches (%d planned), final rung %d\n",
+			r.ABR.MinRung, r.ABR.MaxRung, len(r.ABR.RungFrames), r.ABR.Switches,
+			r.ABR.PlannedSwitches, r.ABR.FinalRung)
+	}
+	if r.Contention != nil {
+		fmt.Fprintf(&sb, "  link: %d sessions, %d/%d quanta contended\n",
+			r.Contention.Sessions, r.Contention.ContendedQuanta, r.Contention.Quanta)
 	}
 	fmt.Fprintf(&sb, "  mem: %d accesses, row-hit %.1f%%  pool high-water %d buffers\n",
 		r.Mem.Accesses(), 100*r.Mem.RowHitRate(), r.PoolHighWater)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mach/internal/abr"
 	"mach/internal/codec"
 	"mach/internal/decoder"
 	"mach/internal/delivery"
@@ -53,6 +54,10 @@ type Runner struct {
 	dumpRing       int
 	dumpSlot       uint64
 	encodedAddr    []uint64
+	// ABR plumbing, nil/empty unless cfg.ABR.Enabled: the normalized
+	// ladder and the planner's per-frame rung schedule.
+	ladder abr.Ladder
+	rungs  []int
 
 	// Platform models.
 	mem     *dram.Memory
@@ -79,6 +84,13 @@ type Runner struct {
 	// times.
 	predictedLow   sim.Time
 	havePrediction bool
+
+	// ABR loop state: the rung currently applied to the pipeline (decode
+	// cost + MACH quantization), switches taken at batch boundaries, and
+	// frames decoded per rung. All zero with ABR disabled.
+	rung         int
+	rungSwitches int64
+	rungFrames   []int64
 
 	//lint:derived a checkpoint taken at the finish line is pointless; Restore rebuilds a runner that is mid-run by construction
 	finished bool
@@ -179,9 +191,22 @@ func NewRunner(tr *trace.Trace, s Scheme, cfg Config) (*Runner, error) {
 		for i := range tr.Frames {
 			sizes[i] = tr.Frames[i].EncodedBytes
 		}
-		r.sched, err = delivery.Plan(cfg.Delivery, sizes, max(tr.FPS, 1))
-		if err != nil {
-			return nil, err
+		if acfg := cfg.ABR.Normalize(); acfg.Enabled {
+			r.sched, err = delivery.PlanABR(cfg.Delivery, acfg, sizes, max(tr.FPS, 1))
+			if err != nil {
+				return nil, err
+			}
+			r.ladder = acfg.Ladder
+			r.rungs = r.sched.Rungs
+			r.rungFrames = make([]int64, len(r.ladder))
+			// The pipeline opens at the first segment's rung.
+			r.rung = r.rungs[0]
+			r.wb.SetQuantShift(r.ladder[r.rung].QuantShift)
+		} else {
+			r.sched, err = delivery.Plan(cfg.Delivery, sizes, max(tr.FPS, 1))
+			if err != nil {
+				return nil, err
+			}
 		}
 		r.avail = r.sched.Avail
 	}
@@ -285,6 +310,19 @@ func (r *Runner) applyFrees(upTo sim.Time) {
 // decoder at the batch's release time.
 func (r *Runner) startBatch() {
 	batchStart := r.frame
+
+	// ABR rung switches land at batch boundaries: the decoder reconfigures
+	// between batches, never mid-batch, mirroring how a real pipeline
+	// drains before a quality change. The rung is whatever the delivery
+	// planner fetched the batch's first frame at.
+	if r.rungs != nil {
+		if nr := r.rungs[batchStart]; nr != r.rung {
+			r.rung = nr
+			r.rungSwitches++
+			r.wb.SetQuantShift(r.ladder[nr].QuantShift)
+		}
+	}
+
 	b := r.s.Batch
 	if len(r.s.BatchPattern) > 0 {
 		b = r.s.BatchPattern[r.batchIdx%len(r.s.BatchPattern)]
@@ -378,8 +416,17 @@ func (r *Runner) StepFrame() {
 		race = r.havePrediction && sim.Time(float64(r.predictedLow)*1.1) > budget
 	}
 
+	// The applied rung prices this frame's decode: lower rungs carry less
+	// entropy/transform work. MACH-side quantization was set when the rung
+	// was applied at the batch boundary.
+	workScale := 1.0
+	if r.rungs != nil {
+		workScale = r.ladder[r.rung].CostScale
+		r.rungFrames[r.rung]++
+	}
+
 	layout, fres := r.ip.DecodeFrame(
-		r.now, f.Work, race,
+		r.now, f.Work, race, workScale,
 		r.encodedAddr[i], f.EncodedBytes,
 		func(sink func(addr uint64, size int, mabOrdinal int)) *framebuf.FrameLayout {
 			return r.wb.ProcessFrame(f.Decoded, f.DisplayIndex, base, dumpBase, sink)
@@ -513,6 +560,24 @@ func (r *Runner) Finish() (*Result, error) {
 		res.Net = r.sched.Stats
 		res.Radio = r.sched.Radio.Stats()
 		res.Energy.Add(energy.CompRadio, float64(res.Radio.TotalEnergy()))
+
+		// Optional ABR/contention stats stay nil pointers when the models
+		// are off, so default results canonicalize byte-identically.
+		if a := r.sched.ABR; a != nil {
+			res.ABR = &ABRStats{
+				FinalRung:       r.rung,
+				Switches:        r.rungSwitches,
+				RungFrames:      append([]int64(nil), r.rungFrames...),
+				PlannedSwitches: a.Switches,
+				SegmentsAtRung:  append([]int64(nil), a.SegmentsAtRung...),
+				MinRung:         a.MinRung,
+				MaxRung:         a.MaxRung,
+			}
+		}
+		if c := r.sched.Contention; c != nil {
+			cs := *c
+			res.Contention = &cs
+		}
 	}
 
 	machOn := r.s.Mach != MachOff

@@ -55,6 +55,12 @@ type simState struct {
 	PredictedLow   sim.Time
 	HavePrediction bool
 
+	// ABR loop state; all omitted (and validated absent) when ABR is off,
+	// keeping disabled-run snapshots byte-identical to the pre-ABR format.
+	Rung         int     `json:",omitempty"`
+	RungSwitches int64   `json:",omitempty"`
+	RungFrames   []int64 `json:",omitempty"`
+
 	Releases []sim.Time
 	Frees    []freeRecord
 	// Layouts holds the live reference layouts by value, sorted by
@@ -139,6 +145,8 @@ func (r *Runner) Snapshot() ([]byte, error) {
 		MaxDisplayed:   r.maxDisplayed,
 		PredictedLow:   r.predictedLow,
 		HavePrediction: r.havePrediction,
+		Rung:           r.rung,
+		RungSwitches:   r.rungSwitches,
 		Drops:          r.res.Drops,
 		Rebuffers:      r.res.Rebuffers,
 		RebufferTime:   r.res.RebufferTime,
@@ -150,6 +158,9 @@ func (r *Runner) Snapshot() ([]byte, error) {
 		Ledger:         r.ledger.Snapshot(),
 		Traffic:        r.traffic.Snapshot(),
 		Pool:           r.pool.Snapshot(),
+	}
+	if r.rungFrames != nil {
+		st.RungFrames = append([]int64(nil), r.rungFrames...)
 	}
 	if len(r.releases) > 0 {
 		st.Releases = append([]sim.Time(nil), r.releases...)
@@ -214,6 +225,33 @@ func (r *Runner) Restore(payload []byte) error {
 	}
 	if st.Drops < 0 || st.Rebuffers < 0 || st.RebufferTime < 0 || st.BatchShrinks < 0 {
 		return fmt.Errorf("core: negative result counter in checkpoint")
+	}
+	// ABR state must be present exactly when the config runs the
+	// controller, and the rung accounting must reconcile with the cursor:
+	// every decoded frame was decoded at some rung.
+	if r.rungs != nil {
+		if st.Rung < 0 || st.Rung >= len(r.ladder) {
+			return fmt.Errorf("core: checkpoint rung %d outside ladder of %d rungs", st.Rung, len(r.ladder))
+		}
+		if st.RungSwitches < 0 || st.RungSwitches > int64(st.Frame) {
+			return fmt.Errorf("core: %d rung switches over %d decoded frames", st.RungSwitches, st.Frame)
+		}
+		if len(st.RungFrames) != len(r.ladder) {
+			return fmt.Errorf("core: %d rung-frame counters for a ladder of %d rungs",
+				len(st.RungFrames), len(r.ladder))
+		}
+		var rf int64
+		for i, n := range st.RungFrames {
+			if n < 0 {
+				return fmt.Errorf("core: negative frame count at rung %d", i)
+			}
+			rf += n
+		}
+		if rf != int64(st.Frame) {
+			return fmt.Errorf("core: rung-frame counters sum to %d, cursor says %d frames decoded", rf, st.Frame)
+		}
+	} else if st.Rung != 0 || st.RungSwitches != 0 || st.RungFrames != nil {
+		return fmt.Errorf("core: checkpoint carries ABR state, config does not run the controller")
 	}
 	// The step loop appends exactly one release per frame and indexes
 	// releases[frame-poolCap]; both depend on this length invariant.
@@ -286,6 +324,15 @@ func (r *Runner) Restore(payload []byte) error {
 	if err := r.wb.Restore(st.Mach); err != nil {
 		return err
 	}
+	// The MACH quantization depth is slaved to the applied rung; a snapshot
+	// where the two disagree is corrupt, not merely stale.
+	wantShift := 0
+	if r.rungs != nil {
+		wantShift = r.ladder[st.Rung].QuantShift
+	}
+	if got := r.wb.QuantShift(); got != wantShift {
+		return fmt.Errorf("core: MACH quant shift %d does not match the applied rung's %d", got, wantShift)
+	}
 	if err := r.dc.Restore(st.Display); err != nil {
 		return err
 	}
@@ -301,6 +348,11 @@ func (r *Runner) Restore(payload []byte) error {
 	r.maxDisplayed = st.MaxDisplayed
 	r.predictedLow = st.PredictedLow
 	r.havePrediction = st.HavePrediction
+	if r.rungs != nil {
+		r.rung = st.Rung
+		r.rungSwitches = st.RungSwitches
+		r.rungFrames = append([]int64(nil), st.RungFrames...)
+	}
 	r.releases = append([]sim.Time(nil), st.Releases...)
 	r.frees = frees
 	r.layoutByDisp = layouts

@@ -342,6 +342,10 @@ func (ip *IP) writeSink() func(at sim.Time, addr uint64, size int) {
 //
 //   - work: the trace's per-mab work records.
 //   - race: operate at the high DVFS point.
+//   - workScale: multiplies the per-mab cycle cost; 1 is the native stream,
+//     lower values model the cheaper entropy/transform work of a reduced
+//     ABR rung. The ==1 path is arithmetically untouched, so fixed-rung
+//     runs are bit-identical to the pre-ABR decoder.
 //   - encodedBase/encodedBytes: where the bitstream sits in memory.
 //   - writeback: called per decoded mab region writeback via sink; the
 //     pipeline passes the MACH engine's ProcessFrame through this hook so
@@ -350,6 +354,7 @@ func (ip *IP) DecodeFrame(
 	now sim.Time,
 	work *codec.FrameWork,
 	race bool,
+	workScale float64,
 	encodedBase uint64,
 	encodedBytes int,
 	writeback func(sink func(addr uint64, size int, mabOrdinal int)) *framebuf.FrameLayout,
@@ -357,6 +362,9 @@ func (ip *IP) DecodeFrame(
 ) (*framebuf.FrameLayout, FrameResult) {
 	cfg := ip.cfg
 	freq := cfg.Freq(race)
+	if !(workScale > 0 && workScale <= 1) {
+		panic(fmt.Sprintf("decoder: work scale %g outside (0,1]", workScale))
+	}
 	cur := now
 	var stall sim.Time
 
@@ -398,6 +406,10 @@ func (ip *IP) DecodeFrame(
 			c += cfg.CyclesMC
 		case codec.MabB:
 			c += 2 * cfg.CyclesMC
+		}
+		//lint:ignore floateq exact sentinel: only the literal 1.0 skips the scaling multiply, keeping the native-quality path arithmetically untouched (golden bit-identity)
+		if workScale != 1 {
+			c = sim.Cycles(float64(c) * workScale)
 		}
 		cycles += c
 		cur = now + freq.Cycles(cycles) + stall

@@ -88,7 +88,7 @@ func i64min(a, b int) int {
 func TestDecodeFrameTiming(t *testing.T) {
 	ip := New(DefaultConfig(), testMem())
 	work := flatWork(100, codec.MabI, 100, 8)
-	_, res := ip.DecodeFrame(0, work, false, framebuf.RegionEncoded, 1000, rawWriteback(100, 48), 10, 10, 4)
+	_, res := ip.DecodeFrame(0, work, false, 1, framebuf.RegionEncoded, 1000, rawWriteback(100, 48), 10, 10, 4)
 	if res.BusyTime <= 0 || res.Done != res.Start+res.BusyTime {
 		t.Fatalf("timing: %+v", res)
 	}
@@ -107,9 +107,9 @@ func TestDecodeFrameTiming(t *testing.T) {
 func TestRacingIsFaster(t *testing.T) {
 	work := flatWork(200, codec.MabI, 200, 10)
 	lo := New(DefaultConfig(), testMem())
-	_, rLo := lo.DecodeFrame(0, work, false, framebuf.RegionEncoded, 2000, rawWriteback(200, 48), 20, 10, 4)
+	_, rLo := lo.DecodeFrame(0, work, false, 1, framebuf.RegionEncoded, 2000, rawWriteback(200, 48), 20, 10, 4)
 	hi := New(DefaultConfig(), testMem())
-	_, rHi := hi.DecodeFrame(0, work, true, framebuf.RegionEncoded, 2000, rawWriteback(200, 48), 20, 10, 4)
+	_, rHi := hi.DecodeFrame(0, work, true, 1, framebuf.RegionEncoded, 2000, rawWriteback(200, 48), 20, 10, 4)
 	if rHi.BusyTime >= rLo.BusyTime {
 		t.Fatalf("racing busy %v should be < low %v", rHi.BusyTime, rLo.BusyTime)
 	}
@@ -140,7 +140,7 @@ func TestReferenceFetchesStallAndCache(t *testing.T) {
 	// A P frame with zero MVs reads the co-located reference mabs.
 	work := flatWork(100, codec.MabP, 50, 4)
 	work.Type = codec.FrameP
-	_, res := ip.DecodeFrame(0, work, false, framebuf.RegionEncoded, 500, rawWriteback(100, 48), 10, 10, 4)
+	_, res := ip.DecodeFrame(0, work, false, 1, framebuf.RegionEncoded, 500, rawWriteback(100, 48), 10, 10, 4)
 	s := ip.Stats()
 	if s.RefReads == 0 {
 		t.Fatal("P mabs must fetch references")
@@ -153,7 +153,7 @@ func TestReferenceFetchesStallAndCache(t *testing.T) {
 	}
 	// Second identical frame: references are now cached, fewer stalls.
 	before := s
-	_, res2 := ip.DecodeFrame(res.Done, work, false, framebuf.RegionEncoded, 500, rawWriteback(100, 48), 10, 10, 4)
+	_, res2 := ip.DecodeFrame(res.Done, work, false, 1, framebuf.RegionEncoded, 500, rawWriteback(100, 48), 10, 10, 4)
 	after := ip.Stats()
 	newHits := after.RefHits - before.RefHits
 	newReads := after.RefReads - before.RefReads
@@ -195,7 +195,7 @@ func TestWritebackPostsLines(t *testing.T) {
 	mem := testMem()
 	ip := New(DefaultConfig(), mem)
 	work := flatWork(64, codec.MabI, 10, 0)
-	ip.DecodeFrame(0, work, false, framebuf.RegionEncoded, 100, rawWriteback(64, 48), 8, 8, 4)
+	ip.DecodeFrame(0, work, false, 1, framebuf.RegionEncoded, 100, rawWriteback(64, 48), 8, 8, 4)
 	if ip.Stats().WriteLns == 0 {
 		t.Fatal("writeback must post line writes")
 	}
@@ -219,9 +219,54 @@ func TestBitstreamReadsPosted(t *testing.T) {
 	mem := testMem()
 	ip := New(DefaultConfig(), mem)
 	work := flatWork(64, codec.MabI, 512, 0) // 64*512 bits = 4KB of bitstream
-	ip.DecodeFrame(0, work, false, framebuf.RegionEncoded, 4096, rawWriteback(64, 48), 8, 8, 4)
+	ip.DecodeFrame(0, work, false, 1, framebuf.RegionEncoded, 4096, rawWriteback(64, 48), 8, 8, 4)
 	if ip.Stats().BitReads != 64 { // 4096/64
 		t.Fatalf("bit reads = %d", ip.Stats().BitReads)
 	}
 	_ = sim.Time(0)
+}
+
+func TestWorkScaleCheapensDecode(t *testing.T) {
+	work := flatWork(200, codec.MabI, 200, 10)
+	full := New(DefaultConfig(), testMem())
+	_, rFull := full.DecodeFrame(0, work, false, 1, framebuf.RegionEncoded, 2000, rawWriteback(200, 48), 20, 10, 4)
+	half := New(DefaultConfig(), testMem())
+	_, rHalf := half.DecodeFrame(0, work, false, 0.5, framebuf.RegionEncoded, 2000, rawWriteback(200, 48), 20, 10, 4)
+	if rHalf.BusyTime >= rFull.BusyTime {
+		t.Fatalf("scaled decode busy %v should be < native %v", rHalf.BusyTime, rFull.BusyTime)
+	}
+	if rHalf.ActiveEnergy >= rFull.ActiveEnergy {
+		t.Fatalf("scaled decode energy %g should be < native %g", rHalf.ActiveEnergy, rFull.ActiveEnergy)
+	}
+
+	// The scale is monotone: cheaper rungs never cost more cycles.
+	prev := sim.Time(0)
+	for _, scale := range []float64{0.25, 0.5, 0.75, 1} {
+		ip := New(DefaultConfig(), testMem())
+		_, res := ip.DecodeFrame(0, work, false, scale, framebuf.RegionEncoded, 2000, rawWriteback(200, 48), 20, 10, 4)
+		if res.BusyTime < prev {
+			t.Fatalf("scale %g busy %v below a cheaper rung's %v", scale, res.BusyTime, prev)
+		}
+		prev = res.BusyTime
+	}
+}
+
+func TestWorkScaleBounds(t *testing.T) {
+	work := flatWork(4, codec.MabI, 10, 1)
+	for _, bad := range []float64{0, -1, 1.5, nanF()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("work scale %g: no panic", bad)
+				}
+			}()
+			ip := New(DefaultConfig(), testMem())
+			ip.DecodeFrame(0, work, false, bad, framebuf.RegionEncoded, 100, rawWriteback(4, 48), 2, 2, 4)
+		}()
+	}
+}
+
+func nanF() float64 {
+	z := 0.0
+	return z / z
 }

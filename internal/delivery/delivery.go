@@ -21,8 +21,16 @@ import (
 	"math/rand"
 	"strings"
 
+	"mach/internal/abr"
 	"mach/internal/power"
 	"mach/internal/sim"
+)
+
+// maxBackoff/maxTransfer bound the exponential retry growth and pathological
+// transfers so long retry chains never overflow sim.Time arithmetic.
+const (
+	maxBackoff  = 60 * sim.Second
+	maxTransfer = 3600 * sim.Second
 )
 
 // Config shapes the delivery model. The zero value is the perfect network:
@@ -79,6 +87,10 @@ type Config struct {
 	// Seed drives every random draw (loss, jitter, stalls). Same seed,
 	// same schedule.
 	Seed int64
+
+	// Bottleneck shares the link with background sessions (the zero value
+	// is an uncontended link, bit-identical to the original model).
+	Bottleneck Bottleneck
 
 	// Radio is the modem power model used to price the schedule.
 	Radio power.RadioConfig
@@ -206,6 +218,9 @@ func (c Config) Validate() error {
 	case c.OutageTime > 0 && c.OutagePeriod == 0:
 		return fmt.Errorf("delivery: outage time %v without a period", c.OutageTime)
 	}
+	if err := c.Bottleneck.Validate(); err != nil {
+		return err
+	}
 	return c.Radio.Validate()
 }
 
@@ -241,6 +256,19 @@ type Stats struct {
 	LastDone     sim.Time
 }
 
+// ABRStats aggregates the planner-side adaptive-bitrate behaviour of a
+// schedule: which rungs segments were fetched at and how often the policy
+// moved between them.
+type ABRStats struct {
+	NumRungs int
+	// Switches counts rung changes between consecutive segments.
+	Switches int64
+	// SegmentsAtRung histograms segments by rung, lowest first.
+	SegmentsAtRung []int64
+	// MinRung/MaxRung bound the rungs actually used.
+	MinRung, MaxRung int
+}
+
 // Schedule is the planned delivery of one stream: the per-frame availability
 // times the pipeline consumes, plus the per-segment record, aggregate stats,
 // and the radio ledger priced over the download windows. Call
@@ -250,17 +278,42 @@ type Schedule struct {
 	Segments []Segment
 	Stats    Stats
 	Radio    *power.RadioLedger
+
+	// Rungs is the per-frame ladder rung each frame was fetched at; nil
+	// unless the schedule was planned with ABR (PlanABR).
+	Rungs []int
+	// ABR and Contention carry the optional model stats; nil when the
+	// corresponding model is off, so default schedules serialize
+	// identically to the pre-ABR planner.
+	ABR        *ABRStats
+	Contention *ContentionStats
 }
 
 // Plan computes the delivery schedule for a stream of per-frame encoded
 // sizes (decode order) played at fps. It is pure and deterministic: the same
 // (cfg, sizes, fps) always returns the same schedule.
 func Plan(cfg Config, sizes []int, fps int) (*Schedule, error) {
+	return planStream(cfg, abr.Config{}, sizes, fps)
+}
+
+// PlanABR is Plan with the adaptive-bitrate controller in the loop: at every
+// segment boundary the policy observes buffer occupancy and the throughput
+// EWMA and picks the ladder rung the segment is fetched at, scaling its
+// bytes by the rung's bitrate ratio. A disabled acfg is exactly Plan.
+func PlanABR(cfg Config, acfg abr.Config, sizes []int, fps int) (*Schedule, error) {
+	return planStream(cfg, acfg, sizes, fps)
+}
+
+func planStream(cfg Config, acfg abr.Config, sizes []int, fps int) (*Schedule, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if !cfg.Enabled {
 		return nil, fmt.Errorf("delivery: Plan called with the model disabled")
+	}
+	acfg = acfg.Normalize()
+	if err := acfg.Validate(); err != nil {
+		return nil, err
 	}
 	if len(sizes) == 0 {
 		return nil, fmt.Errorf("delivery: no frames")
@@ -288,12 +341,39 @@ func Plan(cfg Config, sizes []int, fps int) (*Schedule, error) {
 	st := &sched.Stats
 	st.Frames = len(sizes)
 
-	// maxBackoff/maxTransfer bound the exponential growth and pathological
-	// transfers so long retry chains never overflow sim.Time arithmetic.
-	const (
-		maxBackoff  = 60 * sim.Second
-		maxTransfer = 3600 * sim.Second
+	bn := cfg.Bottleneck.normalize()
+	bnOn := cfg.Bottleneck.Enabled()
+	if bnOn {
+		sched.Contention = &ContentionStats{Sessions: bn.Sessions}
+	}
+
+	// ABR controller state: the ladder and policy, the stream's top-rung
+	// rate (from the actual sizes, so manifests port across streams), the
+	// throughput EWMA the policies observe, and the current rung.
+	var (
+		policy    abr.Policy
+		ladder    abr.Ladder
+		streamBps float64
+		est       float64 // EWMA throughput estimate; 0 = no sample yet
+		rung      int
+		prevRung  = -1
 	)
+	if acfg.Enabled {
+		ladder = acfg.Ladder
+		policy, _ = abr.PolicyByName(acfg.Policy) // validated above
+		var total int64
+		for _, s := range sizes {
+			total += int64(s)
+		}
+		streamBps = float64(total) * float64(fps) / float64(len(sizes))
+		rung = acfg.FixedRung
+		sched.Rungs = make([]int, len(sizes))
+		sched.ABR = &ABRStats{
+			NumRungs:       len(ladder),
+			SegmentsAtRung: make([]int64, len(ladder)),
+			MinRung:        ladder.Top(),
+		}
+	}
 
 	var cur sim.Time // link-free time: next instant a request may be issued
 	delivered := 0
@@ -305,6 +385,48 @@ func Plan(cfg Config, sizes []int, fps int) (*Schedule, error) {
 		var bytes int64
 		for _, s := range sizes[first : first+n] {
 			bytes += int64(s)
+		}
+
+		// ABR decision at the segment boundary: the policy observes buffer
+		// occupancy (what playback has not yet consumed) and the throughput
+		// estimate, and picks the rung this segment downloads at. Lower
+		// rungs shrink the segment by the ladder's bitrate ratio.
+		if acfg.Enabled {
+			consumed := int(cur / period)
+			if consumed > delivered {
+				consumed = delivered
+			}
+			rung = policy.Decide(abr.Observation{
+				BufferedFrames:  delivered - consumed,
+				BufferCapFrames: cfg.BufferFrames,
+				ThroughputBps:   est,
+				StreamBps:       streamBps,
+				CurrentRung:     rung,
+				SafetyFactor:    acfg.SafetyFactor,
+			}, ladder)
+			if rung < 0 || rung > ladder.Top() {
+				// A policy returning an out-of-range rung is a bug, but a
+				// clamp keeps planning total for fuzzed policies.
+				rung = ladder.Top()
+			}
+			if ratio := ladder.Ratio(rung); ratio < 1 {
+				bytes = int64(math.Round(float64(bytes) * ratio))
+			}
+			for i := first; i < first+n; i++ {
+				sched.Rungs[i] = rung
+			}
+			ab := sched.ABR
+			ab.SegmentsAtRung[rung]++
+			if prevRung >= 0 && rung != prevRung {
+				ab.Switches++
+			}
+			if rung < ab.MinRung {
+				ab.MinRung = rung
+			}
+			if rung > ab.MaxRung {
+				ab.MaxRung = rung
+			}
+			prevRung = rung
 		}
 
 		// Streaming-buffer gate: fetching this segment may not push
@@ -320,12 +442,15 @@ func Plan(cfg Config, sizes []int, fps int) (*Schedule, error) {
 		}
 
 		seg := Segment{Index: len(sched.Segments), FirstFrame: first, NumFrames: n, Bytes: bytes, Start: cur}
-		transfer := sim.FromSeconds(float64(bytes) / cfg.BandwidthBps)
-		// Clamp pathological size/bandwidth combinations (adversarial trace
-		// input) so virtual-time arithmetic stays in range; an hour-long
-		// segment transfer is far beyond any timeout anyway.
-		if transfer < 0 || transfer > maxTransfer {
-			transfer = maxTransfer
+		var transfer sim.Time
+		if !bnOn {
+			transfer = sim.FromSeconds(float64(bytes) / cfg.BandwidthBps)
+			// Clamp pathological size/bandwidth combinations (adversarial
+			// trace input) so virtual-time arithmetic stays in range; an
+			// hour-long segment transfer is far beyond any timeout anyway.
+			if transfer < 0 || transfer > maxTransfer {
+				transfer = maxTransfer
+			}
 		}
 		backoff := cfg.BackoffBase
 		for {
@@ -333,6 +458,12 @@ func Plan(cfg Config, sizes []int, fps int) (*Schedule, error) {
 			st.Attempts++
 			if seg.Attempts > 1 {
 				st.Retries++
+			}
+			if bnOn {
+				// Under contention the transfer time depends on which
+				// scheduling quanta the attempt spans, so it is recomputed
+				// per attempt from the attempt's start time.
+				transfer = bn.transferTime(cfg.BandwidthBps, cur, bytes, sched.Contention)
 			}
 
 			dur := cfg.RTT + transfer
@@ -379,6 +510,16 @@ func Plan(cfg Config, sizes []int, fps int) (*Schedule, error) {
 			}
 		}
 		seg.Done = cur
+		// Feed the throughput EWMA from the whole segment window (request
+		// to completion, retries included) — what a real player measures.
+		if acfg.Enabled && !seg.Abandoned && seg.Done > seg.Start && bytes > 0 {
+			rate := float64(bytes) / (seg.Done - seg.Start).Seconds()
+			if est == 0 {
+				est = rate
+			} else {
+				est = acfg.EWMAAlpha*rate + (1-acfg.EWMAAlpha)*est
+			}
+		}
 		for i := first; i < first+n; i++ {
 			sched.Avail[i] = cur
 		}

@@ -3,6 +3,7 @@ package delivery
 import (
 	"testing"
 
+	"mach/internal/abr"
 	"mach/internal/sim"
 )
 
@@ -74,6 +75,76 @@ func FuzzDeliverySchedule(f *testing.F) {
 		rs := sched.Radio.Stats()
 		if rs.ActiveTime < 0 || rs.TailTime < 0 || rs.SleepTime < 0 || rs.TotalEnergy() < 0 {
 			t.Fatalf("negative radio accounting: %+v", rs)
+		}
+	})
+}
+
+// FuzzBottleneckSchedule drives PlanABR with arbitrary bottleneck and ABR
+// knobs on top of a hostile link: whatever the inputs, planning must either
+// reject the configuration or terminate with a well-formed schedule — no
+// panics, no hangs (the quantum walk and transfer clamps are load-bearing
+// here), no out-of-range rungs, no negative accounting.
+func FuzzBottleneckSchedule(f *testing.F) {
+	f.Add(4, 1.0, 0.7, int64(50*sim.Millisecond), int64(5), uint8(1), 0.3, 0.7, 30, []byte{0x40, 0x41, 0x42, 0x43, 0x44, 0x45})
+	f.Add(16, 16.0, 1.0, int64(sim.Millisecond), int64(-1), uint8(2), 1.0, 1.0, 1, []byte{0xFF, 0xFF, 0xFF})
+	f.Add(2, 0.0625, 0.0, int64(sim.Second), int64(0), uint8(0), 0.01, 0.01, 240, []byte{0x00})
+	f.Add(-3, -1.0, 2.0, int64(-5), int64(99), uint8(7), -1.0, 9.0, 0, []byte{0x10, 0x20})
+
+	f.Fuzz(func(t *testing.T, sessions int, weight, prob float64, quantum, seed int64,
+		policy uint8, alpha, safety float64, fps int, raw []byte) {
+
+		cfg := ThreeG()
+		cfg.Bottleneck = Bottleneck{
+			Sessions:   sessions,
+			Weight:     weight,
+			ActiveProb: prob,
+			Quantum:    sim.Time(quantum),
+			Seed:       seed,
+		}
+		acfg := abr.Config{
+			Enabled:      true,
+			Policy:       []string{"fixed", "buffer", "throughput"}[int(policy)%3],
+			FixedRung:    -1,
+			EWMAAlpha:    alpha,
+			SafetyFactor: safety,
+		}
+		sizes := make([]int, len(raw)+1)
+		for i, b := range raw {
+			sizes[i] = int(b) << 10
+		}
+
+		sched, err := PlanABR(cfg, acfg, sizes, fps)
+		if err != nil {
+			return
+		}
+		if len(sched.Avail) != len(sizes) || len(sched.Rungs) != len(sizes) {
+			t.Fatalf("lengths: avail %d, rungs %d, frames %d", len(sched.Avail), len(sched.Rungs), len(sizes))
+		}
+		prev := sim.Time(0)
+		for i, a := range sched.Avail {
+			if a < prev {
+				t.Fatalf("avail[%d]=%v moves backwards from %v", i, a, prev)
+			}
+			prev = a
+		}
+		if sched.ABR == nil {
+			t.Fatal("ABR stats missing from an ABR plan")
+		}
+		for i, r := range sched.Rungs {
+			if r < 0 || r >= sched.ABR.NumRungs {
+				t.Fatalf("frame %d at rung %d of %d", i, r, sched.ABR.NumRungs)
+			}
+		}
+		if cs := sched.Contention; cs != nil {
+			if cs.Quanta < 0 || cs.ContendedQuanta < 0 || cs.ContendedQuanta > cs.Quanta || cs.CappedTransfers < 0 {
+				t.Fatalf("implausible contention counters: %+v", cs)
+			}
+		} else if cfg.Bottleneck.Enabled() {
+			t.Fatal("enabled bottleneck produced no contention stats")
+		}
+		st := sched.Stats
+		if st.Attempts < int64(st.Segments) || st.TransferTime < 0 || st.BufferWait < 0 {
+			t.Fatalf("negative or inconsistent stats: %+v", st)
 		}
 	})
 }

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"mach/internal/abr"
+	"mach/internal/core"
+	"mach/internal/delivery"
+	"mach/internal/stats"
+)
+
+// ABRContention sweeps link headroom against shared-bottleneck contention
+// for each adaptive-bitrate policy and reports the graceful-degradation
+// trade: the fixed-top rows show how hard the native stream rebuffers once
+// the fair share drops below its rate, the adaptive rows show the same link
+// bought back with quality (frames played below the top rung). Bandwidths
+// are expressed as fractions of the trace's own top-rung rate so the sweep
+// keeps crossing the interesting boundary at any experiment scale.
+func (r *Runner) ABRContention(fractions []float64, sessionCounts []int) (*stats.Table, error) {
+	if len(fractions) == 0 {
+		// Comfortable headroom, just under the native rate, and starved.
+		fractions = []float64{1.5, 0.75, 0.4}
+	}
+	if len(sessionCounts) == 0 {
+		sessionCounts = []int{1, 8}
+	}
+	key := r.Cfg.Videos[0]
+	tr, err := r.trace(key)
+	if err != nil {
+		return nil, err
+	}
+	var total int
+	for _, f := range tr.Frames {
+		total += f.EncodedBytes
+	}
+	streamBps := float64(total) * float64(tr.FPS) / float64(len(tr.Frames))
+	policies := []string{"fixed", "buffer", "throughput"}
+
+	type cell struct {
+		frac     float64
+		sessions int
+		policy   string
+		res      *core.Result
+	}
+	var cells []cell
+	for _, frac := range fractions {
+		for _, n := range sessionCounts {
+			for _, p := range policies {
+				cells = append(cells, cell{frac: frac, sessions: n, policy: p})
+			}
+		}
+	}
+
+	errs := r.runIsolated(len(cells), func(i int) error {
+		c := &cells[i]
+		cfg := r.Cfg.Platform
+		d := delivery.LTE()
+		d.BandwidthBps = c.frac * streamBps
+		d.LossRate = 0
+		if c.sessions > 1 {
+			d.Bottleneck = delivery.Bottleneck{Sessions: c.sessions, Seed: 3}
+		}
+		cfg.Delivery = d
+		cfg.ABR = abr.Config{Enabled: true, Policy: c.policy, FixedRung: -1}
+		res, err := core.Run(tr, core.RaceToSleep(core.DefaultBatch), cfg)
+		if err != nil {
+			return err
+		}
+		c.res = res
+		return nil
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+
+	tb := stats.NewTable("bw/rate", "sessions", "policy", "rebuf", "rebuf-ms",
+		"switches", "min-rung", "low%", "contend%", "mJ/frame")
+	for _, c := range cells {
+		a := c.res.ABR
+		var below, applied int64
+		for rung, n := range a.RungFrames {
+			applied += n
+			if rung < len(a.RungFrames)-1 {
+				below += n
+			}
+		}
+		contended := "-"
+		if cs := c.res.Contention; cs != nil && cs.Quanta > 0 {
+			contended = fmt.Sprintf("%.1f", 100*float64(cs.ContendedQuanta)/float64(cs.Quanta))
+		}
+		tb.AddRow(
+			fmt.Sprintf("%.2f", c.frac),
+			c.sessions,
+			c.policy,
+			c.res.Rebuffers,
+			fmt.Sprintf("%.1f", c.res.RebufferTime.Milliseconds()),
+			a.Switches,
+			a.MinRung,
+			fmt.Sprintf("%.1f", 100*float64(below)/float64(applied)),
+			contended,
+			fmt.Sprintf("%.2f", 1e3*c.res.EnergyPerFrame()))
+	}
+	return tb, nil
+}

@@ -43,6 +43,10 @@ type State struct {
 	// Shadow holds the TrackCollisions fingerprints sorted by pointer so
 	// identical engines snapshot to identical bytes; nil when disabled.
 	Shadow []ShadowEntry
+	// QuantShift is the ABR requantization depth in force at the boundary
+	// (SetQuantShift); it persists across frames, so a resumed engine must
+	// hash at the same depth the live one would.
+	QuantShift int `json:",omitempty"`
 }
 
 func snapshotCache(c *digestCache) CacheState {
@@ -76,7 +80,7 @@ func (w *Writeback) restoreCache(st CacheState) (*digestCache, error) {
 // Snapshot returns the engine's frame-boundary state. It must not be called
 // from inside ProcessFrame.
 func (w *Writeback) Snapshot() State {
-	st := State{Stats: w.stats}
+	st := State{Stats: w.stats, QuantShift: w.quantShift}
 	if len(w.history) > 0 {
 		st.History = make([]CacheState, len(w.history))
 		for i, h := range w.history {
@@ -129,6 +133,9 @@ func (w *Writeback) Restore(st State) error {
 		return fmt.Errorf("mach: snapshot collision tracking %v, config wants %v",
 			st.Shadow != nil, cfg.TrackCollisions)
 	}
+	if st.QuantShift < 0 || st.QuantShift > 7 {
+		return fmt.Errorf("mach: snapshot quant shift %d outside [0,7]", st.QuantShift)
+	}
 
 	if len(history) == 0 {
 		history = nil
@@ -149,6 +156,7 @@ func (w *Writeback) Restore(st State) error {
 			w.shadow[e.Ptr] = e.FP
 		}
 	}
+	w.quantShift = st.QuantShift
 	w.current = nil
 	return nil
 }

@@ -185,6 +185,13 @@ type Writeback struct {
 	//lint:derived per-frame scan cursor, reset when ProcessFrame begins; dead between frames
 	curMab int // ordinal of the mab currently being processed
 
+	// quantShift is the ABR quality response: how many low bits each
+	// decoded sample drops before hashing. Lower bitrate rungs carry
+	// coarser quantization, so their content is blurrier and more
+	// repetitive — match rates rise as quality falls. Set per rung switch
+	// by the pipeline; persists across frames and is part of State.
+	quantShift int
+
 	// Parallel prehash state: pool shards the pure per-mab digest work,
 	// scratch gives each worker its own block buffers, and pre collects
 	// the per-mab results the serial classification phase consumes.
@@ -305,10 +312,20 @@ func (w *Writeback) prehashFrame(fr *codec.Frame, numMabs int) {
 	mabsPerRow := fr.MabsPerRow(n)
 	w.pre.resize(numMabs, cfg.CoMach, cfg.Gradient, w.shadow != nil)
 
+	shift := w.quantShift
 	hashOne := func(ord int, mab, gab []byte) {
 		x0 := (ord % mabsPerRow) * n
 		y0 := (ord / mabsPerRow) * n
 		fr.CopyBlock(x0, y0, n, mab)
+		if shift > 0 {
+			// Requantize to the rung's effective sample depth before any
+			// hashing: matching happens on what the coarser encode would
+			// have decoded, not on the full-quality synthesis.
+			mask := byte(0xFF) << shift
+			for i := range mab {
+				mab[i] &= mask
+			}
+		}
 		content := mab
 		if cfg.Gradient {
 			ComputeGab(mab, &w.pre.base[ord], gab)
@@ -339,6 +356,20 @@ func (w *Writeback) prehashFrame(fr *codec.Frame, numMabs int) {
 
 // Stats returns the accumulated statistics.
 func (w *Writeback) Stats() Stats { return w.stats }
+
+// SetQuantShift sets the requantization depth applied before hashing —
+// the MACH-side effect of an ABR rung switch. The pipeline calls it at
+// batch boundaries; it must not be called mid-ProcessFrame. Shifts outside
+// [0,7] are a caller bug.
+func (w *Writeback) SetQuantShift(shift int) {
+	if shift < 0 || shift > 7 {
+		panic(fmt.Sprintf("mach: quant shift %d outside [0,7]", shift))
+	}
+	w.quantShift = shift
+}
+
+// QuantShift returns the current requantization depth.
+func (w *Writeback) QuantShift() int { return w.quantShift }
 
 // alignUp rounds v up to the next multiple of line.
 func alignUp(v uint64, line int) uint64 {

@@ -24,6 +24,7 @@
 package mach
 
 import (
+	"mach/internal/abr"
 	"mach/internal/checkpoint"
 	"mach/internal/core"
 	"mach/internal/delivery"
@@ -57,6 +58,20 @@ type (
 	DeliveryConfig = delivery.Config
 	// DeliveryStats aggregates a run's delivery behaviour (Result.Net).
 	DeliveryStats = delivery.Stats
+	// ABRConfig is the adaptive-bitrate controller (Config.ABR): a bitrate
+	// ladder plus a rung-selection policy, riding on the delivery model.
+	ABRConfig = abr.Config
+	// Ladder is a DASH-style bitrate ladder, lowest rung first.
+	Ladder = abr.Ladder
+	// Rung is one quality level of a Ladder.
+	Rung = abr.Rung
+	// ABRStats summarizes a run's adaptive-bitrate behaviour (Result.ABR).
+	ABRStats = core.ABRStats
+	// Bottleneck shares the delivery link with background sessions
+	// (Config.Delivery.Bottleneck).
+	Bottleneck = delivery.Bottleneck
+	// ContentionStats aggregates shared-link behaviour (Result.Contention).
+	ContentionStats = delivery.ContentionStats
 	// Runner is the per-frame step machine behind Run; drive it directly
 	// to checkpoint and resume long runs (see SaveCheckpoint /
 	// LoadCheckpoint).
@@ -104,6 +119,17 @@ var (
 	DeliveryFlaky   = delivery.Flaky
 	DeliveryByName  = delivery.ProfileByName
 	PlanDelivery    = delivery.Plan
+	// PlanDeliveryABR is PlanDelivery with the adaptive-bitrate controller
+	// choosing a ladder rung per segment.
+	PlanDeliveryABR = delivery.PlanABR
+
+	// Adaptive-bitrate ladder helpers: the default five-rung mobile DASH
+	// ladder, the MACHLADDER manifest parser, and its file loader (both
+	// wrap ErrBadManifest on damaged input).
+	DefaultLadder = abr.DefaultLadder
+	ParseLadder   = abr.ParseLadder
+	LoadLadder    = abr.LoadLadder
+	ABRPolicies   = abr.PolicyByName
 
 	// Run replays a trace under a scheme.
 	Run = core.Run
