@@ -3,11 +3,15 @@
 //
 //	machbench -out BENCH_machsim.json            # regenerate at full scale
 //	machbench -videos 4 -frames 16 -out /tmp/b.json
-//	machbench -check -check-file BENCH_machsim.json -min-speedup 1.8
+//	machbench -check -check-file BENCH_machsim.json -min-speedup 1.8 \
+//	          -min-engine-speedup 1.3 -max-stepframe-allocs 0
 //
 // In -check mode no benchmarks run: the file is validated against the
-// schema and every sweep/par* row must meet -min-speedup. Exit codes:
-// 0 success, 1 harness error or failed check, 2 invalid usage.
+// schema, every sweep/par* row must meet -min-speedup, the engine/par*
+// rows' geomean speedup must meet -min-engine-speedup, and every
+// engine/stepframe/* row must stay at or under -max-stepframe-allocs
+// allocs per frame. Exit codes: 0 success, 1 harness error or failed
+// check, 2 invalid usage.
 package main
 
 import (
@@ -33,6 +37,8 @@ func main() {
 		check      = flag.Bool("check", false, "validate a report instead of running benchmarks")
 		checkFile  = flag.String("check-file", "BENCH_machsim.json", "report to validate in -check mode")
 		minSpeedup = flag.Float64("min-speedup", 1.8, "minimum speedup_vs_seq every sweep/par* row must meet in -check mode")
+		minEngine  = flag.Float64("min-engine-speedup", 1.3, "minimum geomean speedup_vs_seq across engine/par* rows in -check mode")
+		maxAllocs  = flag.Float64("max-stepframe-allocs", 0, "maximum allocs_per_op any engine/stepframe/* row may report in -check mode")
 	)
 	flag.Parse()
 
@@ -44,8 +50,14 @@ func main() {
 		if err := rep.Check("sweep/par", *minSpeedup); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("machbench: %s: %d records ok, sweep/par* speedups meet the %.2fx gate\n",
-			*checkFile, len(rep.Records), *minSpeedup)
+		if err := rep.CheckGeomean("engine/par", *minEngine); err != nil {
+			fatal(err)
+		}
+		if err := rep.CheckAllocs("engine/stepframe/", *maxAllocs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("machbench: %s: %d records ok; sweep/par* >= %.2fx, engine/par* geomean >= %.2fx, engine/stepframe/* <= %g allocs/op\n",
+			*checkFile, len(rep.Records), *minSpeedup, *minEngine, *maxAllocs)
 		return
 	}
 

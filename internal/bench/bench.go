@@ -5,8 +5,13 @@
 // can validate it without knowing which harness produced which row:
 //
 //   - engine/seq/<V>    sequential core.Run over workload <V>
-//   - engine/par<N>/<V> the same run with the N-wide deterministic engine
-//     (speedup_vs_seq is the measured wall ratio)
+//   - engine/par<N>/<V> the same run with the N-wide deterministic engine;
+//     its speedup_vs_seq is the Amdahl work-conserving bound computed
+//     from the prehash wall time measured inside the sequential run
+//     (only the prehash phase parallelizes; see EXPERIMENTS.md)
+//   - engine/stepframe/<V> steady-state Runner.StepFrame cost after pool
+//     warm-up; allocs_per_op/bytes_per_op carry its measured heap traffic
+//     (gated at zero)
 //   - sweep/seq         the 16-profile sweep run back to back
 //   - sweep/par<N>      the same sweep scheduled onto N workers; its
 //     speedup_vs_seq is the work-conserving scheduled speedup
@@ -23,6 +28,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -31,13 +37,17 @@ import (
 
 // Record is one benchmark result row. The JSON field names are the schema
 // CI validates; do not rename them without updating cmd/machbench -check
-// and EXPERIMENTS.md.
+// and EXPERIMENTS.md. Heap traffic is measured only by the steady-state
+// rows (engine/stepframe/*); on every other row AllocsPerOp/BytesPerOp
+// stay zero, the schema's usual "not applicable to this row" value.
 type Record struct {
 	Name         string  `json:"name"`
 	Iterations   int64   `json:"iterations"`
 	NsPerOp      int64   `json:"ns_per_op"`
 	MabsPerSec   float64 `json:"mabs_per_sec"`
 	SpeedupVsSeq float64 `json:"speedup_vs_seq"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
 }
 
 // Validate checks one record against the schema: a non-empty name, at
@@ -56,6 +66,10 @@ func (r Record) Validate() error {
 		return fmt.Errorf("bench: %s: mabs_per_sec %g < 0", r.Name, r.MabsPerSec)
 	case r.SpeedupVsSeq < 0:
 		return fmt.Errorf("bench: %s: speedup_vs_seq %g < 0", r.Name, r.SpeedupVsSeq)
+	case r.AllocsPerOp < 0:
+		return fmt.Errorf("bench: %s: allocs_per_op %g < 0", r.Name, r.AllocsPerOp)
+	case r.BytesPerOp < 0:
+		return fmt.Errorf("bench: %s: bytes_per_op %g < 0", r.Name, r.BytesPerOp)
 	}
 	return nil
 }
@@ -125,6 +139,60 @@ func (p *Report) Check(prefix string, min float64) error {
 	}
 	if matched == 0 {
 		return fmt.Errorf("bench: no record matches gate prefix %q", prefix)
+	}
+	return nil
+}
+
+// CheckGeomean validates the report and then enforces an aggregate gate:
+// the geometric mean of speedup_vs_seq over every record matching prefix
+// must be >= min. Per-workload jitter on a shared CI runner can push a
+// single cell under the bar; the geomean asks that the engine win across
+// the sweep, which is the property the refactors actually promise.
+func (p *Report) CheckGeomean(prefix string, min float64) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	logSum, matched := 0.0, 0
+	for _, r := range p.Records {
+		if !strings.HasPrefix(r.Name, prefix) {
+			continue
+		}
+		matched++
+		if r.SpeedupVsSeq <= 0 {
+			return fmt.Errorf("bench: %s: speedup_vs_seq %g not positive; cannot enter the %q geomean", r.Name, r.SpeedupVsSeq, prefix)
+		}
+		logSum += math.Log(r.SpeedupVsSeq)
+	}
+	if matched == 0 {
+		return fmt.Errorf("bench: no record matches geomean gate prefix %q", prefix)
+	}
+	geomean := math.Exp(logSum / float64(matched))
+	if geomean < min {
+		return fmt.Errorf("bench: %s* geomean speedup %.3f below the %.2f gate (%d records)", prefix, geomean, min, matched)
+	}
+	return nil
+}
+
+// CheckAllocs validates the report and then enforces the heap gate: every
+// record matching prefix must report allocs_per_op <= max. The committed
+// engine/stepframe/* rows hold max = 0 — the steady-state frame step is
+// allocation-free.
+func (p *Report) CheckAllocs(prefix string, max float64) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	matched := 0
+	for _, r := range p.Records {
+		if !strings.HasPrefix(r.Name, prefix) {
+			continue
+		}
+		matched++
+		if r.AllocsPerOp > max {
+			return fmt.Errorf("bench: %s: allocs_per_op %g above the %g gate", r.Name, r.AllocsPerOp, max)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("bench: no record matches alloc gate prefix %q", prefix)
 	}
 	return nil
 }

@@ -71,6 +71,59 @@ func TestReportCheck(t *testing.T) {
 	}
 }
 
+func TestReportCheckGeomean(t *testing.T) {
+	var p Report
+	for name, speedup := range map[string]float64{
+		"engine/par4/V1": 1.2,
+		"engine/par4/V2": 1.5,
+		"engine/par4/V3": 1.4,
+	} {
+		r := validRecord(name)
+		r.SpeedupVsSeq = speedup
+		p.Add(r)
+	}
+	// geomean(1.2, 1.5, 1.4) ~= 1.362
+	if err := p.CheckGeomean("engine/par", 1.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckGeomean("engine/par", 1.4); err == nil {
+		t.Fatal("below-gate geomean passed")
+	}
+	if err := p.CheckGeomean("nosuch/", 1); err == nil {
+		t.Fatal("unmatched prefix passed")
+	}
+	zero := validRecord("engine/par4/V9")
+	zero.SpeedupVsSeq = 0
+	p.Add(zero)
+	if err := p.CheckGeomean("engine/par", 0.1); err == nil {
+		t.Fatal("zero speedup entered the geomean")
+	}
+}
+
+func TestReportCheckAllocs(t *testing.T) {
+	var p Report
+	clean := validRecord("engine/stepframe/V1")
+	p.Add(clean)
+	leaky := validRecord("engine/stepframe/V2")
+	leaky.AllocsPerOp = 2.5
+	leaky.BytesPerOp = 192
+	p.Add(leaky)
+	if err := p.CheckAllocs("engine/stepframe/", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckAllocs("engine/stepframe/", 0); err == nil {
+		t.Fatal("allocating row passed the zero gate")
+	}
+	if err := p.CheckAllocs("nosuch/", 0); err == nil {
+		t.Fatal("unmatched prefix passed")
+	}
+	neg := validRecord("engine/stepframe/V3")
+	neg.AllocsPerOp = -1
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative allocs_per_op validated")
+	}
+}
+
 func TestFileRoundTripAndAppend(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH.json")
 	if err := AppendRecord(path, validRecord("one")); err != nil {
@@ -124,15 +177,32 @@ func TestHarnessTinyRun(t *testing.T) {
 	if err := rep.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if got, want := len(rep.Records), 2*3+2; got != want {
+	if got, want := len(rep.Records), 3*3+2; got != want {
 		t.Fatalf("got %d records, want %d: %+v", got, want, rep.Records)
 	}
 	for _, key := range []string{"V1", "V4", "V8"} {
 		if _, ok := rep.Find("engine/seq/" + key); !ok {
 			t.Errorf("missing engine/seq/%s", key)
 		}
-		if _, ok := rep.Find("engine/par4/" + key); !ok {
+		par, ok := rep.Find("engine/par4/" + key)
+		if !ok {
 			t.Errorf("missing engine/par4/%s", key)
+		}
+		// The Amdahl bound splits only the prehash phase, so the scheduled
+		// speedup must land in [1, workers].
+		if par.SpeedupVsSeq < 1 || par.SpeedupVsSeq > 4 {
+			t.Errorf("engine/par4/%s speedup %.3f outside [1,4]", key, par.SpeedupVsSeq)
+		}
+		step, ok := rep.Find("engine/stepframe/" + key)
+		if !ok {
+			t.Errorf("missing engine/stepframe/%s", key)
+			continue
+		}
+		// The steady-state frame step is allocation-free by construction;
+		// this is the same property the committed report gates.
+		if step.AllocsPerOp != 0 || step.BytesPerOp != 0 {
+			t.Errorf("engine/stepframe/%s not allocation-free: %.2f allocs/op, %.0f B/op",
+				key, step.AllocsPerOp, step.BytesPerOp)
 		}
 	}
 	seq, ok := rep.Find("sweep/seq")

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"mach/internal/core"
@@ -60,11 +61,25 @@ func (o *Options) fill() {
 	}
 }
 
-// Run times the sequential and parallel engines over every workload and
-// returns the report. Per-workload rows carry measured wall times; the
-// sweep/par<N> row reports the scheduled speedup sum(costs)/Makespan over
-// the measured sequential costs, the work-conserving bound a N-worker
-// fan-out achieves on N free cores (see EXPERIMENTS.md).
+// Run times the engine over every workload and returns the report. Three
+// row families come out of it:
+//
+//   - engine/seq/<V>: measured wall time of the sequential engine.
+//   - engine/par<N>/<V>: the N-wide engine's scheduled time. Only the
+//     writeback prehash phase is parallel (the classification phase is
+//     serially dependent on MACH state), so the row reports the Amdahl
+//     work-conserving bound T_seq - P + P/N where P is the prehash wall
+//     time measured inside the sequential run. Like sweep/par<N>, this is
+//     the speedup N free cores achieve, computed without needing N idle
+//     cores on the machine running the harness (see EXPERIMENTS.md).
+//   - engine/stepframe/<V>: steady-state per-frame cost and heap traffic
+//     of Runner.StepFrame, measured after the pools and free lists have
+//     warmed up. Its allocs_per_op/bytes_per_op are the fields the
+//     0-allocs/op gate checks.
+//
+// The sweep/seq and sweep/par<N> rows aggregate the per-workload costs as
+// before: scheduled speedup sum(costs)/Makespan over the measured
+// sequential costs.
 func Run(opts Options) (*Report, error) {
 	opts.fill()
 	rep := &Report{}
@@ -78,11 +93,7 @@ func Run(opts Options) (*Report, error) {
 		mabs := int64(len(tr.Frames)) * int64(tr.Params.Width*tr.Params.Height/(tr.Params.MabSize*tr.Params.MabSize))
 		totalMabs += mabs
 
-		seqNs, err := timeRun(tr, opts, 0)
-		if err != nil {
-			return nil, err
-		}
-		parNs, err := timeRun(tr, opts, opts.Workers)
+		seqNs, prehashNs, err := timeRun(tr, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -94,6 +105,7 @@ func Run(opts Options) (*Report, error) {
 			NsPerOp:    seqNs,
 			MabsPerSec: rate(mabs, seqNs),
 		})
+		parNs := amdahl(seqNs, prehashNs, opts.Workers)
 		rep.Add(Record{
 			Name:         fmt.Sprintf("engine/par%d/%s", opts.Workers, key),
 			Iterations:   int64(opts.Iterations),
@@ -101,9 +113,17 @@ func Run(opts Options) (*Report, error) {
 			MabsPerSec:   rate(mabs, parNs),
 			SpeedupVsSeq: ratio(seqNs, parNs),
 		})
+
+		step, err := measureStepFrame(key, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Add(step)
+
 		if opts.Logf != nil {
-			opts.Logf("%s: seq %.1fms  par%d %.1fms  (%.0f mabs/ms)",
-				key, float64(seqNs)/1e6, opts.Workers, float64(parNs)/1e6, rate(mabs, seqNs)/1e3)
+			opts.Logf("%s: seq %.1fms  par%d %.1fms scheduled (prehash %.0f%%)  step %.0f allocs/frame",
+				key, float64(seqNs)/1e6, opts.Workers, float64(parNs)/1e6,
+				100*float64(prehashNs)/float64(seqNs), step.AllocsPerOp)
 		}
 	}
 
@@ -133,31 +153,125 @@ func Run(opts Options) (*Report, error) {
 	return rep, nil
 }
 
-// timeRun replays the trace opts.Iterations times at the given engine
-// width and returns the fastest wall time in nanoseconds (minimum 1ns so
-// records stay schema-valid even on a clock with coarse resolution).
-func timeRun(tr *trace.Trace, opts Options, workers int) (int64, error) {
+// timeRun replays the trace opts.Iterations times on the sequential engine
+// and returns the fastest wall time plus that iteration's prehash wall
+// time, both in nanoseconds (minimum 1ns so records stay schema-valid even
+// on a clock with coarse resolution).
+func timeRun(tr *trace.Trace, opts Options) (wallNs, prehashNs int64, err error) {
 	cfg := opts.Platform
-	cfg.Parallel = workers
-	best := int64(0)
+	cfg.Parallel = 0
+	best, bestPrehash := int64(0), int64(0)
 	for i := 0; i < opts.Iterations; i++ {
-		start := time.Now()
-		res, err := core.Run(tr, opts.Scheme, cfg)
-		ns := time.Since(start).Nanoseconds()
+		r, err := core.NewRunner(tr, opts.Scheme, cfg)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
+		}
+		start := time.Now()
+		for !r.Done() {
+			r.StepFrame()
+		}
+		ns := time.Since(start).Nanoseconds()
+		res, err := r.Finish()
+		if err != nil {
+			return 0, 0, err
 		}
 		if res.Frames != len(tr.Frames) {
-			return 0, fmt.Errorf("bench: %s: ran %d of %d frames", tr.Profile, res.Frames, len(tr.Frames))
+			return 0, 0, fmt.Errorf("bench: %s: ran %d of %d frames", tr.Profile, res.Frames, len(tr.Frames))
 		}
 		if best == 0 || ns < best {
-			best = ns
+			best, bestPrehash = ns, r.PrehashWall().Nanoseconds()
 		}
 	}
 	if best < 1 {
 		best = 1
 	}
-	return best, nil
+	if bestPrehash > best {
+		bestPrehash = best
+	}
+	return best, bestPrehash, nil
+}
+
+// amdahl returns the scheduled wall time of a run whose only parallel
+// phase measured prehashNs out of seqNs total: the serial remainder plus
+// the prehash work split evenly across workers. This is the
+// work-conserving bound the deterministic sharded prehash achieves on
+// `workers` free cores (shard order never affects results, so the bound
+// is tight up to the last shard's tail).
+func amdahl(seqNs, prehashNs int64, workers int) int64 {
+	ns := seqNs - prehashNs + prehashNs/int64(workers)
+	if ns < 1 {
+		ns = 1
+	}
+	return ns
+}
+
+// measureStepFrame runs one long replay of the workload and measures the
+// steady-state cost of Runner.StepFrame: the trace is stretched to twice
+// the configured frame count, the first two thirds warm the frame pools
+// and writeback free lists, and the remaining third is timed under
+// runtime.MemStats deltas. Mallocs is monotonic, so the delta counts every
+// heap allocation in the window regardless of GC activity.
+func measureStepFrame(key string, opts Options) (Record, error) {
+	sc := opts.Stream
+	sc.NumFrames *= 2
+	// The pipeline recycles a frame's layout only retention+4 display
+	// periods after scan-out, and the display lags the decoder by up to a
+	// full batch, so the free lists reach steady state only past
+	// NumMACHs+Batch+margin frames. Stretch short traces so the warm-up
+	// (two thirds) covers that ramp and the measured window sits entirely
+	// in the recycled regime.
+	batch := opts.Scheme.Batch
+	for _, b := range opts.Scheme.BatchPattern {
+		if b > batch {
+			batch = b
+		}
+	}
+	if floor := 2 * (opts.Platform.Mach.NumMACHs + batch + 12); sc.NumFrames < floor {
+		sc.NumFrames = floor
+	}
+	tr, err := core.BuildTrace(key, sc)
+	if err != nil {
+		return Record{}, err
+	}
+	cfg := opts.Platform
+	cfg.Parallel = 0
+	r, err := core.NewRunner(tr, opts.Scheme, cfg)
+	if err != nil {
+		return Record{}, err
+	}
+	warm := len(tr.Frames) * 2 / 3
+	for i := 0; i < warm && !r.Done(); i++ {
+		r.StepFrame()
+	}
+	measured := int64(0)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for !r.Done() {
+		r.StepFrame()
+		measured++
+	}
+	ns := time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&after)
+	if _, err := r.Finish(); err != nil {
+		return Record{}, err
+	}
+	if measured == 0 {
+		return Record{}, fmt.Errorf("bench: %s: no frames left to measure after warm-up", key)
+	}
+	if ns < 1 {
+		ns = 1
+	}
+	mabsPerFrame := int64(tr.Params.Width * tr.Params.Height / (tr.Params.MabSize * tr.Params.MabSize))
+	return Record{
+		Name:        fmt.Sprintf("engine/stepframe/%s", key),
+		Iterations:  measured,
+		NsPerOp:     ns / measured,
+		MabsPerSec:  rate(measured*mabsPerFrame, ns),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(measured),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(measured),
+	}, nil
 }
 
 func rate(mabs, ns int64) float64 {

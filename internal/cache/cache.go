@@ -257,15 +257,28 @@ func (c *SetAssoc) LinesFor(addr, size uint64) []uint64 {
 // LinesFor is the package-level helper for splitting a byte range into
 // line-aligned requests.
 func LinesFor(addr, size, lineSize uint64) []uint64 {
-	if size == 0 {
+	first, last, n := LineSpan(addr, size, lineSize)
+	if n == 0 {
 		return nil
 	}
-	first := addr &^ (lineSize - 1)
-	last := (addr + size - 1) &^ (lineSize - 1)
-	n := (last-first)/lineSize + 1
 	out := make([]uint64, 0, n)
 	for a := first; a <= last; a += lineSize {
 		out = append(out, a)
 	}
 	return out
+}
+
+// LineSpan returns the first and last line-aligned addresses covered by the
+// byte range [addr, addr+size) plus the line count, without materializing
+// the slice LinesFor builds. Iterating `for a := first; a <= last; a +=
+// lineSize` (guarded by n > 0) visits exactly the addresses LinesFor
+// returns, in the same ascending order; the per-frame read paths use this
+// form so request fragmentation costs no allocation.
+func LineSpan(addr, size, lineSize uint64) (first, last uint64, n int) {
+	if size == 0 {
+		return 0, 0, 0
+	}
+	first = addr &^ (lineSize - 1)
+	last = (addr + size - 1) &^ (lineSize - 1)
+	return first, last, int((last-first)/lineSize) + 1
 }

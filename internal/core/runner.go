@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"time"
 
 	"mach/internal/abr"
 	"mach/internal/codec"
@@ -94,6 +94,17 @@ type Runner struct {
 
 	//lint:derived a checkpoint taken at the finish line is pointless; Restore rebuilds a runner that is mid-run by construction
 	finished bool
+
+	// Persistent writeback hook handed to DecodeFrame every frame; the
+	// per-frame parameters travel through the wb* fields so StepFrame never
+	// captures a fresh closure environment.
+	wbHook func(sink func(addr uint64, size int, mabOrdinal int)) *framebuf.FrameLayout
+	//lint:derived per-frame hook arguments, rewritten by every StepFrame before the decode call reads them
+	wbFrame *codec.Frame
+	//lint:derived per-frame hook arguments, rewritten by every StepFrame before the decode call reads them
+	wbDisplayIndex int
+	//lint:derived per-frame hook arguments, rewritten by every StepFrame before the decode call reads them
+	wbBase, wbDumpBase uint64
 }
 
 // NewRunner validates the inputs and builds a run positioned before frame 0.
@@ -261,6 +272,15 @@ func NewRunner(tr *trace.Trace, s Scheme, cfg Config) (*Runner, error) {
 		cursor += alignUp(uint64(tr.Frames[i].EncodedBytes))
 	}
 
+	// The release ledger gains one entry per frame and the pending-free list
+	// stays at most a pool's worth deep; sizing both up front keeps the
+	// per-frame step free of slice growth.
+	r.releases = make([]sim.Time, 0, len(tr.Frames))
+	r.frees = make([]pendingFree, 0, r.poolCap+8)
+	r.wbHook = func(sink func(addr uint64, size int, mabOrdinal int)) *framebuf.FrameLayout {
+		return r.wb.ProcessFrame(r.wbFrame, r.wbDisplayIndex, r.wbBase, r.wbDumpBase, sink)
+	}
+
 	r.res = &Result{
 		Scheme:       s,
 		Workload:     tr.Profile,
@@ -278,6 +298,11 @@ func NewRunner(tr *trace.Trace, s Scheme, cfg Config) (*Runner, error) {
 // Frame returns the index of the next frame to decode (also the number of
 // frames decoded so far).
 func (r *Runner) Frame() int { return r.frame }
+
+// PrehashWall exposes the writeback engine's prehash host-time accumulator,
+// the Amdahl share the benchmark harness uses to bound the parallel
+// engine's speedup on machines without idle cores.
+func (r *Runner) PrehashWall() time.Duration { return r.wb.PrehashWall() }
 
 // Done reports whether every frame has been decoded.
 func (r *Runner) Done() bool { return r.frame >= len(r.tr.Frames) }
@@ -370,6 +395,8 @@ func (r *Runner) startBatch() {
 
 // StepFrame decodes and displays exactly one frame, opening a new batch
 // first when the previous one is exhausted. Calling it after Done is a bug.
+//
+//lint:hotpath the per-frame engine step; everything it reaches runs once per simulated frame and is gated allocation-free
 func (r *Runner) StepFrame() {
 	if r.Done() {
 		panic("core: StepFrame past end of trace")
@@ -425,12 +452,11 @@ func (r *Runner) StepFrame() {
 		r.rungFrames[r.rung]++
 	}
 
+	r.wbFrame, r.wbDisplayIndex, r.wbBase, r.wbDumpBase = f.Decoded, f.DisplayIndex, base, dumpBase
 	layout, fres := r.ip.DecodeFrame(
 		r.now, f.Work, race, workScale,
 		r.encodedAddr[i], f.EncodedBytes,
-		func(sink func(addr uint64, size int, mabOrdinal int)) *framebuf.FrameLayout {
-			return r.wb.ProcessFrame(f.Decoded, f.DisplayIndex, base, dumpBase, sink)
-		},
+		r.wbHook,
 		r.mabsPerRow, r.mabsPerCol, r.mabSize,
 	)
 	r.ip.RegisterLayout(layout, f.Type)
@@ -477,19 +503,31 @@ func (r *Runner) StepFrame() {
 	// Slot lifetime: until scanned out plus the MACH retention window
 	// (inter-match pointers may target this buffer).
 	freeAt := dt + sim.Time(int64(r.period)*int64(r.retention+1))
-	idx := sort.Search(len(r.releases), func(j int) bool { return r.releases[j] > freeAt })
+	// Binary search for the insertion point (sort.Search semantics, inlined
+	// so the predicate costs no closure).
+	lo, hi := 0, len(r.releases)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.releases[mid] > freeAt {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
 	r.releases = append(r.releases, 0)
-	copy(r.releases[idx+1:], r.releases[idx:])
-	r.releases[idx] = freeAt
+	copy(r.releases[lo+1:], r.releases[lo:])
+	r.releases[lo] = freeAt
 	r.frees = append(r.frees, pendingFree{at: freeAt, slot: slot})
 
 	// Retire decoder-side reference layouts that can no longer be
-	// referenced (older than the MACH window and the anchor pair).
+	// referenced (older than the MACH window and the anchor pair); retired
+	// layouts go back to the writeback engine for reuse.
 	horizon := f.DisplayIndex - r.retention - 4
-	for d := range r.layoutByDisp {
+	for d, l := range r.layoutByDisp {
 		if d < horizon {
 			r.ip.RetireLayout(d)
 			delete(r.layoutByDisp, d)
+			r.wb.Recycle(l)
 		}
 	}
 }

@@ -144,6 +144,14 @@ type FrameResult struct {
 	LineWrites   int64
 }
 
+// pendingWrite is one writeback line queued during a frame's decode, drained
+// onto the DRAM timeline after the mab retirement times are known.
+type pendingWrite struct {
+	addr uint64
+	size int
+	ord  int
+}
+
 // IP is the decoder instance. It retains the memory layouts of recently
 // decoded frames so motion compensation can resolve reference addresses.
 type IP struct {
@@ -156,6 +164,20 @@ type IP struct {
 	layouts map[int]*framebuf.FrameLayout
 	// Anchor tracking mirrors codec.Decoder's reference rule.
 	olderAnchor, newerAnchor int
+
+	// Per-frame scratch, reused across DecodeFrame calls so the steady-state
+	// decode loop allocates nothing. All of it is dead between frames.
+	//lint:derived per-frame mab retirement times, fully rewritten each DecodeFrame
+	mabDone []sim.Time
+	//lint:derived per-frame queued writeback lines, reset each DecodeFrame
+	pending []pendingWrite
+	//lint:derived per-fetch reference address lists, reset on every refMabAddrs call
+	metaScratch, contentScratch []uint64
+
+	// Persistent hot-path closures, built once at construction so per-frame
+	// calls do not capture fresh environments.
+	sink    func(at sim.Time, addr uint64, size int)
+	collect func(addr uint64, size int, mabOrdinal int)
 }
 
 // New builds a decoder IP against the given memory; it panics on invalid
@@ -164,7 +186,7 @@ func New(cfg Config, mem *dram.Memory) *IP {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &IP{
+	ip := &IP{
 		cfg:         cfg,
 		mem:         mem,
 		cache:       cache.NewSetAssoc(cfg.CacheBytes, cfg.LineBytes, cfg.CacheWays),
@@ -172,6 +194,11 @@ func New(cfg Config, mem *dram.Memory) *IP {
 		olderAnchor: -1,
 		newerAnchor: -1,
 	}
+	ip.sink = ip.writeLine
+	ip.collect = func(addr uint64, size int, mabOrdinal int) {
+		ip.pending = append(ip.pending, pendingWrite{addr, size, mabOrdinal})
+	}
+	return ip
 }
 
 // Config returns the IP configuration.
@@ -251,10 +278,15 @@ func (ip *IP) cachedRead(now sim.Time, addr uint64) sim.Time {
 	return done - now
 }
 
-// refMabAddrs returns the line addresses the decoder touches to fetch the
+// refMabAddrs collects the line addresses the decoder touches to fetch the
 // reference block for a mab at (mabX, mabY) displaced by mv: the layout
 // metadata line(s) plus the content line(s) of every overlapped source mab.
+// The addresses land in ip.metaScratch/ip.contentScratch (reset here, valid
+// until the next call), so the per-mab fetch path allocates nothing once the
+// scratch has grown to the worst-case overlap.
 func (ip *IP) refMabAddrs(l *framebuf.FrameLayout, mabX, mabY int, mv codec.MotionVector, mabSize, mabsPerRow, mabsPerCol int) (meta []uint64, content []uint64) {
+	meta = ip.metaScratch[:0]
+	content = ip.contentScratch[:0]
 	x0 := mabX*mabSize + int(mv.DX)
 	y0 := mabY*mabSize + int(mv.DY)
 	firstMX, lastMX := floorDiv(x0, mabSize), floorDiv(x0+mabSize-1, mabSize)
@@ -282,7 +314,37 @@ func (ip *IP) refMabAddrs(l *framebuf.FrameLayout, mabX, mabY int, mv codec.Moti
 			}
 		}
 	}
+	ip.metaScratch, ip.contentScratch = meta, content
 	return meta, content
+}
+
+// fetchRef performs the blocking reference-block fetch for one mab through
+// the decode cache, returning the stall time added to the pipeline. It
+// preserves the access order of the original slice-building path: all
+// metadata lines first, then every content line in mab-walk order.
+func (ip *IP) fetchRef(cur sim.Time, l *framebuf.FrameLayout, mabX, mabY int, mv codec.MotionVector, mabSize, mabsPerRow, mabsPerCol int) (stall sim.Time) {
+	if l == nil {
+		return 0
+	}
+	meta, content := ip.refMabAddrs(l, mabX, mabY, mv, mabSize, mabsPerRow, mabsPerCol)
+	for _, a := range meta {
+		ip.stats.MetaReads++
+		stall += ip.cachedRead(cur, a)
+	}
+	blockBytes := uint64(mabSize * mabSize * codec.BytesPerPixel)
+	lineBytes := uint64(ip.cfg.LineBytes)
+	for _, a := range content {
+		first, last, n := cache.LineSpan(a, blockBytes, lineBytes)
+		for ln := first; n > 0 && ln <= last; ln += lineBytes {
+			ip.stats.RefReads++
+			d := ip.cachedRead(cur, ln)
+			if d == 0 {
+				ip.stats.RefHits++
+			}
+			stall += d
+		}
+	}
+	return stall
 }
 
 // resolveDump finds the pointer for a digest in the frame's dump; entries
@@ -318,24 +380,24 @@ func clampInt(v, lo, hi int) int {
 	return v
 }
 
-// writeSink returns the posted-write path: each line write lands in DRAM at
-// the given virtual time, optionally routed through the decode cache.
-func (ip *IP) writeSink() func(at sim.Time, addr uint64, size int) {
-	return func(at sim.Time, addr uint64, size int) {
-		ip.stats.WriteLns++
-		if ip.cfg.WritebackThroughCache {
-			ip.stats.WbCacheAccesses++
-			res := ip.cache.Access(addr, true)
-			if res.Hit {
-				ip.stats.WbCacheHits++
-				return
-			}
-			if res.Writeback {
-				ip.mem.Access(at, res.WritebackAddr, true)
-			}
+// writeLine is the posted-write path: each line write lands in DRAM at the
+// given virtual time, optionally routed through the decode cache. It is
+// installed once as ip.sink so the per-frame drain loop needs no fresh
+// closure.
+func (ip *IP) writeLine(at sim.Time, addr uint64, size int) {
+	ip.stats.WriteLns++
+	if ip.cfg.WritebackThroughCache {
+		ip.stats.WbCacheAccesses++
+		res := ip.cache.Access(addr, true)
+		if res.Hit {
+			ip.stats.WbCacheHits++
+			return
 		}
-		ip.mem.Access(at, addr, true) // posted
+		if res.Writeback {
+			ip.mem.Access(at, res.WritebackAddr, true)
+		}
 	}
+	ip.mem.Access(at, addr, true) // posted
 }
 
 // DecodeFrame runs the timing model for one frame starting at now.
@@ -389,7 +451,20 @@ func (ip *IP) DecodeFrame(
 	}
 
 	var cycles sim.Cycles
-	mabDone := make([]sim.Time, len(work.Mabs)+1)
+	if cap(ip.mabDone) < len(work.Mabs)+1 {
+		ip.mabDone = make([]sim.Time, len(work.Mabs)+1)
+	}
+	// Queued writeback lines: worst case every content line lands
+	// uncoalesced (mabBytes/LineBytes lines plus a misalignment line per
+	// mab), plus metadata — pointer bitmap, base table, and MACH dump
+	// lines. Reserving the bound up front means the collect append never
+	// grows mid-run, however the content of a late frame coalesces.
+	mabBytes := mabSize * mabSize * codec.BytesPerPixel
+	if worst := len(work.Mabs)*(mabBytes/cfg.LineBytes+2) + 512; cap(ip.pending) < worst {
+		ip.pending = make([]pendingWrite, 0, worst)
+	}
+	mabDone := ip.mabDone[:len(work.Mabs)+1]
+	mabDone[0] = 0
 	for i := range work.Mabs {
 		mw := &work.Mabs[i]
 		ip.stats.Mabs++
@@ -423,32 +498,12 @@ func (ip *IP) DecodeFrame(
 		}
 
 		// Blocking reference fetches through the decode cache.
-		fetch := func(l *framebuf.FrameLayout, mv codec.MotionVector) {
-			if l == nil {
-				return
-			}
-			meta, content := ip.refMabAddrs(l, mabX, mabY, mv, mabSize, mabsPerRow, mabsPerCol)
-			for _, a := range meta {
-				ip.stats.MetaReads++
-				stall += ip.cachedRead(cur, a)
-			}
-			for _, a := range content {
-				for _, ln := range cache.LinesFor(a, uint64(mabSize*mabSize*codec.BytesPerPixel), uint64(cfg.LineBytes)) {
-					ip.stats.RefReads++
-					d := ip.cachedRead(cur, ln)
-					if d == 0 {
-						ip.stats.RefHits++
-					}
-					stall += d
-				}
-			}
-		}
 		switch mw.Type {
 		case codec.MabP:
-			fetch(backRef, mw.MV)
+			stall += ip.fetchRef(cur, backRef, mabX, mabY, mw.MV, mabSize, mabsPerRow, mabsPerCol)
 		case codec.MabB:
-			fetch(bRef, mw.MVB)
-			fetch(fwdRef, mw.MVF)
+			stall += ip.fetchRef(cur, bRef, mabX, mabY, mw.MVB, mabSize, mabsPerRow, mabsPerCol)
+			stall += ip.fetchRef(cur, fwdRef, mabX, mabY, mw.MVF, mabSize, mabsPerRow, mabsPerCol)
 		}
 		mabDone[i+1] = freq.Cycles(cycles) + stall
 	}
@@ -463,18 +518,12 @@ func (ip *IP) DecodeFrame(
 	// DRAM row (Fig 5a). Metadata lines (pointers, bases, bitmap, dump)
 	// drain from their coalescing buffers in bursts of 8 across the busy
 	// window.
-	type pendingWrite struct {
-		addr uint64
-		size int
-		ord  int
-	}
-	var pending []pendingWrite
-	layout := writeback(func(addr uint64, size int, mabOrdinal int) {
-		pending = append(pending, pendingWrite{addr, size, mabOrdinal})
-	})
+	ip.pending = ip.pending[:0]
+	layout := writeback(ip.collect)
+	pending := ip.pending
 	if len(pending) > 0 {
 		contentEnd := layout.BufferBase + uint64(len(layout.Records)*layout.MabBytes)
-		sink := ip.writeSink()
+		sink := ip.sink
 		metaCount := 0
 		for _, pw := range pending {
 			if pw.addr >= layout.BufferBase && pw.addr < contentEnd {

@@ -16,8 +16,9 @@
 package display
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"mach/internal/cache"
 	"mach/internal/dram"
@@ -123,6 +124,9 @@ type Controller struct {
 	mbTick         uint64
 
 	stats Stats
+
+	//lint:derived per-frame prefetch sort buffer, fully rewritten by every Prefetch call
+	sortScratch []framebuf.DumpEntry
 }
 
 // New builds a controller; it panics on invalid configuration.
@@ -250,6 +254,8 @@ func (c *Controller) mbInsert(digest uint32, ptr uint64) {
 // issuing the dump reads and the content fills as posted memory reads at
 // time now. It is called by the pipeline when a decoded frame's layout is
 // handed over for display.
+//
+//lint:hotpath runs once per displayed frame, loading the frozen-MACH dump into the MACH buffer
 func (c *Controller) Prefetch(now sim.Time, l *framebuf.FrameLayout) {
 	if !c.cfg.UseMachBuffer || l.Kind != framebuf.LayoutPtrDigest || len(l.Dump) == 0 {
 		return
@@ -264,11 +270,13 @@ func (c *Controller) Prefetch(now sim.Time, l *framebuf.FrameLayout) {
 	// engine sweeps rows instead of ping-ponging between them; the content
 	// usually sits in lines the scan-out will touch anyway, so it goes
 	// through the display cache to avoid double charging.
-	sorted := make([]framebuf.DumpEntry, len(l.Dump))
-	copy(sorted, l.Dump)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Ptr < sorted[j].Ptr })
+	sorted := append(c.sortScratch[:0], l.Dump...)
+	c.sortScratch = sorted
+	slices.SortFunc(sorted, func(a, b framebuf.DumpEntry) int { return cmp.Compare(a.Ptr, b.Ptr) })
+	lineBytes := uint64(c.cfg.LineBytes)
 	for _, e := range sorted {
-		for _, ln := range cache.LinesFor(e.Ptr, uint64(l.MabBytes), uint64(c.cfg.LineBytes)) {
+		first, last, n := cache.LineSpan(e.Ptr, uint64(l.MabBytes), lineBytes)
+		for ln := first; n > 0 && ln <= last; ln += lineBytes {
 			c.readLine(now, ln, true)
 		}
 		c.mbInsert(e.Digest, e.Ptr)
@@ -296,6 +304,8 @@ func (c *Controller) readLine(now sim.Time, addr uint64, prefetch bool) bool {
 // ScanOut reads one frame through the layout, pacing reads across the frame
 // period starting at start. It returns the number of line reads issued to
 // memory for this frame.
+//
+//lint:hotpath runs once per displayed frame, pacing every line read of the scan
 func (c *Controller) ScanOut(start sim.Time, l *framebuf.FrameLayout) int64 {
 	before := c.stats.MemLineReads
 	period := c.cfg.FramePeriod()
@@ -367,11 +377,12 @@ func (c *Controller) ScanOut(start sim.Time, l *framebuf.FrameLayout) int64 {
 // readContent fetches a mab-sized content block, counting fragmentation
 // when it straddles a line boundary (§5's request-fragmentation problem).
 func (c *Controller) readContent(at sim.Time, addr uint64, size int) {
-	lines := cache.LinesFor(addr, uint64(size), uint64(c.cfg.LineBytes))
-	if len(lines) > 1 {
+	lineBytes := uint64(c.cfg.LineBytes)
+	first, last, n := cache.LineSpan(addr, uint64(size), lineBytes)
+	if n > 1 {
 		c.stats.Fragmented++
 	}
-	for _, ln := range lines {
+	for ln := first; n > 0 && ln <= last; ln += lineBytes {
 		c.readLine(at, ln, false)
 	}
 }

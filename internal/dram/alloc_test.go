@@ -1,0 +1,24 @@
+package dram
+
+import (
+	"testing"
+
+	"mach/internal/sim"
+)
+
+// Access is issued for every line transaction of every frame — the
+// innermost loop of the memory model — and must never allocate: bank state
+// lives in a fixed slice sized at construction.
+func TestAccessDoesNotAllocate(t *testing.T) {
+	m := New(DefaultConfig())
+
+	var now sim.Time
+	addr := uint64(0)
+	allocs := testing.AllocsPerRun(500, func() {
+		now = m.Access(now, addr, addr%3 == 0)
+		addr += 64
+	})
+	if allocs != 0 {
+		t.Fatalf("Access allocated %.2f times per op, want 0", allocs)
+	}
+}

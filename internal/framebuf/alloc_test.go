@@ -1,0 +1,31 @@
+package framebuf
+
+import "testing"
+
+// The pool is on the per-frame hot path (one Acquire per decoded frame, one
+// Release per retired frame), so its steady state — free-stack pop, in-use
+// bookkeeping, free-stack push — must not allocate. Growth is allowed only
+// while the pipeline ramps to its high-water mark.
+func TestPoolSteadyStateDoesNotAllocate(t *testing.T) {
+	p := NewPool(0x1000, 1<<20)
+
+	// Ramp to the high-water mark: the map and the free stack size
+	// themselves here, once.
+	warm := make([]int, 8)
+	for i := range warm {
+		warm[i], _ = p.Acquire()
+	}
+	for _, s := range warm {
+		p.Release(s)
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		a, _ := p.Acquire()
+		b, _ := p.Acquire()
+		p.Release(a)
+		p.Release(b)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Acquire/Release allocated %.2f times per cycle, want 0", allocs)
+	}
+}

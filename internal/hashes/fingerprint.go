@@ -1,0 +1,101 @@
+package hashes
+
+// Fingerprint128 is a from-scratch 128-bit non-cryptographic mixer
+// (MurmurHash3 x64/128 structure) used as the cheap alternative to MD5 for
+// the TrackCollisions shadow fingerprint. The fingerprint never acts as a
+// MACH tag — it only verifies that two blocks with equal digests carry equal
+// content — so collision resistance against an adversary is not required;
+// 128 uniform bits make accidental fingerprint collisions vanishingly rare
+// while costing a handful of multiplies per block instead of an MD5
+// compression function.
+
+import "math/bits"
+
+// Fingerprint128 computes the 128-bit fingerprint of data.
+func Fingerprint128(data []byte) [16]byte {
+	const (
+		c1 = 0x87c37b91114253d5
+		c2 = 0x4cf5ad432745937f
+	)
+	var h1, h2 uint64 = 0x9747b28c, ^uint64(0x9747b28c)
+	n := len(data)
+
+	// Body: 16-byte blocks.
+	i := 0
+	for ; i+16 <= n; i += 16 {
+		k1 := le64(data[i:])
+		k2 := le64(data[i+8:])
+		k1 *= c1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+		h1 = bits.RotateLeft64(h1, 27)
+		h1 += h2
+		h1 = h1*5 + 0x52dce729
+		k2 *= c2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+		h2 = bits.RotateLeft64(h2, 31)
+		h2 += h1
+		h2 = h2*5 + 0x38495ab5
+	}
+
+	// Tail.
+	var k1, k2 uint64
+	tail := data[i:]
+	for j := len(tail) - 1; j >= 8; j-- {
+		k2 = k2<<8 | uint64(tail[j])
+	}
+	for j := min(len(tail), 8) - 1; j >= 0; j-- {
+		k1 = k1<<8 | uint64(tail[j])
+	}
+	if len(tail) > 8 {
+		k2 *= c2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+	}
+	if len(tail) > 0 {
+		k1 *= c1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+	}
+
+	// Finalization.
+	h1 ^= uint64(n)
+	h2 ^= uint64(n)
+	h1 += h2
+	h2 += h1
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+	h1 += h2
+	h2 += h1
+
+	var out [16]byte
+	put64(out[:8], h1)
+	put64(out[8:], h2)
+	return out
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func put64(b []byte, v uint64) {
+	for j := 0; j < 8; j++ {
+		b[j] = byte(v >> (8 * j))
+	}
+}
+
+// fmix64 is the 64-bit avalanche finalizer.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -72,6 +72,12 @@ type moduleIndex struct {
 	byFunc map[*types.Func]*funcNode
 	graphs map[string]*callGraph
 	named  []*types.Named
+
+	// hot is the allocheck cone: every node reachable from a
+	// //lint:hotpath root without entering a constructor fence. Computed
+	// once per run, on the first allocheck pass (hotDone guards it).
+	hot     map[*funcNode]bool
+	hotDone bool
 }
 
 // enginePass builds a Pass usable by the engine itself (CFGs, type info);

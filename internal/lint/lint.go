@@ -56,6 +56,11 @@ type Pass struct {
 	// analyzer degrades to its intraprocedural behavior in that case.
 	graph *callGraph
 	mod   *moduleIndex
+
+	// directives is the run-wide directive list (every package). Allocheck
+	// reads it to discover //lint:hotpath roots in other packages and marks
+	// the resolved ones used, which is what keeps them out of staleignore.
+	directives []*ignoreDirective
 }
 
 // Reportf records a diagnostic at pos.
@@ -99,6 +104,15 @@ const IgnorePrefix = "//lint:ignore"
 // staleignore pass flags annotations whose field became covered or vanished.
 const DerivedPrefix = "//lint:derived"
 
+// HotpathPrefix starts a hot-path root annotation: `//lint:hotpath <reason>`
+// on (or above) a function declaration marks it as a per-frame entry point
+// whose whole call cone the allocheck analyzer sweeps for allocation sites.
+// Like lint:derived, the reason is mandatory — it documents why the function
+// is per-frame — and the staleignore pass flags annotations that no longer
+// sit on a function declaration, so roots cannot silently detach when code
+// moves.
+const HotpathPrefix = "//lint:hotpath"
+
 // ignoreDirective is one parsed `//lint:ignore <check> <reason>` or
 // `//lint:derived <reason>` comment.
 type ignoreDirective struct {
@@ -108,8 +122,13 @@ type ignoreDirective struct {
 	// derived marks the //lint:derived spelling, which scopes itself to
 	// statecheck and gets its own staleness wording.
 	derived bool
+	// hotpath marks the //lint:hotpath spelling: a root annotation consumed
+	// by allocheck, never a suppression. Its checks list carries "allocheck"
+	// only so staleness applicability follows subset runs correctly.
+	hotpath bool
 	// used records whether the directive suppressed at least one raw
-	// diagnostic in this run; StaleIgnore reports the ones that did not.
+	// diagnostic in this run (or, for hotpath roots, resolved to a function
+	// declaration); StaleIgnore reports the ones that did not.
 	used bool
 }
 
@@ -148,6 +167,25 @@ func parseDirectives(fset *token.FileSet, f *ast.File, report func(Diagnostic)) 
 				})
 				continue
 			}
+			if strings.HasPrefix(c.Text, HotpathPrefix) {
+				pos := fset.Position(c.Pos())
+				reason := strings.TrimSpace(strings.TrimPrefix(c.Text, HotpathPrefix))
+				if reason == "" {
+					report(Diagnostic{
+						Pos:     pos,
+						Check:   "lintdirective",
+						Message: "malformed lint:hotpath directive: want //lint:hotpath <why this function runs per frame>",
+					})
+					continue
+				}
+				ds = append(ds, &ignoreDirective{
+					pos:     pos,
+					checks:  []string{"allocheck"},
+					reason:  reason,
+					hotpath: true,
+				})
+				continue
+			}
 			if !strings.HasPrefix(c.Text, IgnorePrefix) {
 				continue
 			}
@@ -177,6 +215,11 @@ func parseDirectives(fset *token.FileSet, f *ast.File, report func(Diagnostic)) 
 func suppressed(d Diagnostic, ds []*ignoreDirective) bool {
 	hit := false
 	for _, dir := range ds {
+		// Hotpath directives are root annotations, not suppressions: an
+		// allocheck finding adjacent to one stays reported.
+		if dir.hotpath {
+			continue
+		}
 		if dir.pos.Filename != d.Pos.Filename || !dir.matches(d.Check) {
 			continue
 		}
@@ -225,15 +268,16 @@ func RunAnalyzersTimed(fset *token.FileSet, pkgs []*Package, analyzers []*Analyz
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
-				Fset:   fset,
-				Path:   pkg.Path,
-				Files:  pkg.Files,
-				Pkg:    pkg.Types,
-				Info:   pkg.Info,
-				check:  a.Name,
-				report: collect,
-				graph:  mod.graphs[pkg.Path],
-				mod:    mod,
+				Fset:       fset,
+				Path:       pkg.Path,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				check:      a.Name,
+				report:     collect,
+				graph:      mod.graphs[pkg.Path],
+				mod:        mod,
+				directives: directives,
 			}
 			t0 := time.Now()
 			a.Run(pass)
@@ -318,6 +362,9 @@ func staleDirectives(directives []*ignoreDirective, analyzers []*Analyzer) []Dia
 		if dir.derived {
 			msg = "lint:derived annotation marks no un-snapshotted field; the field it excused is now covered or gone — delete the annotation"
 		}
+		if dir.hotpath {
+			msg = "lint:hotpath annotation marks no function declaration; move it onto the per-frame entry point's doc comment or delete it"
+		}
 		out = append(out, Diagnostic{
 			Pos:     dir.pos,
 			Check:   StaleIgnore.Name,
@@ -340,6 +387,7 @@ func All() []*Analyzer {
 		FloatEq,
 		SelfCompare,
 		ErrCheck,
+		Allocheck,
 		StaleIgnore,
 	}
 }

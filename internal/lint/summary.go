@@ -391,7 +391,11 @@ func (c *classifier) buildAliases() {
 		if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && u.Op == token.AND {
 			return c.rootsOf(rhs, true, false)
 		}
-		return c.rootsOf(rhs, true, true)
+		// Plain reads classify with forWrite off: the index-owned-slot
+		// sanction covers writes into a slot, but reading a slot
+		// (`layout := w.pool[n-1]`) still yields a reference into the
+		// container's shared referent.
+		return c.rootsOf(rhs, false, true)
 	}
 	bind := func(lhs ast.Expr, roots []rootRef) bool {
 		v := lhsVar(c.g.pass, lhs)

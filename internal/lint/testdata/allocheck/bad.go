@@ -1,0 +1,55 @@
+// Corpus: every allocation shape allocheck flags inside a hotpath cone,
+// including sites reached interprocedurally from the annotated root.
+package allocbad
+
+type ring struct {
+	out []int
+}
+
+type widget struct {
+	b []byte
+}
+
+// NewWidget is a constructor fence: its internal allocations are never
+// walked; the hot call site below is reported instead.
+func NewWidget() *widget {
+	return &widget{b: make([]byte, 64)}
+}
+
+func box(v any) {
+	_ = v
+}
+
+//lint:hotpath golden corpus root standing in for the per-frame entry point
+func (r *ring) Step(n int, raw []byte) {
+	scratch := make([]byte, n) // want "make on the hot path"
+	p := new(ring)             // want "new on the hot path"
+	_ = p
+	ids := []int{1, 2, 3}  // want "slice literal on the hot path"
+	seen := map[int]bool{} // want "map literal on the hot path"
+	_ = seen
+	w := &widget{} // want "address-taken composite literal escapes"
+	_ = w
+	var local []byte
+	local = append(local, raw...) // want "append to a function-local slice"
+	_ = local
+	f := func() int { return n } // want "capturing function literal on the hot path"
+	_ = f
+	go r.drain()     // want "go statement on the hot path"
+	s := string(raw) // want "string conversion on the hot path"
+	_ = s
+	box(n)           // want "boxes a int into an interface parameter"
+	g := NewWidget() // want "call to constructor NewWidget on the hot path"
+	_ = g
+	r.fill(ids, scratch)
+}
+
+// fill is not annotated, but it is in Step's cone: its allocations are
+// flagged interprocedurally.
+func (r *ring) fill(ids []int, b []byte) {
+	tmp := make([]int, len(ids)) // want "make on the hot path"
+	_ = tmp
+	_ = b
+}
+
+func (r *ring) drain() {}

@@ -1,0 +1,83 @@
+// Corpus: proven-reusable shapes allocheck must sanction without any
+// directive — the false-positive inventory the analyzer is tuned against.
+package allocclean
+
+type layout struct {
+	recs []int
+}
+
+type eng struct {
+	buf   []byte
+	free  []*layout
+	out   []int
+	args  []any
+	cur   *layout
+	steps int
+}
+
+// NewEng is a constructor fence: these warm-up allocations are deliberate
+// and sit outside every hotpath cone.
+func NewEng(n int) *eng {
+	return &eng{
+		buf: make([]byte, 0, n),
+		out: make([]int, n),
+	}
+}
+
+func sink(vs ...any) {
+	for range vs {
+	}
+}
+
+//lint:hotpath golden corpus root exercising the sanctioned-reuse shapes
+func (e *eng) Step(i, n int, raw []byte, err error) {
+	// Amortized growth: a cap()/len() guard stops allocating once the
+	// buffer reaches its high-water mark.
+	if cap(e.buf) < n {
+		e.buf = make([]byte, 0, n)
+	}
+	// Persistent append: rooted at the receiver, reusing capacity.
+	e.buf = append(e.buf[:0], raw...)
+	// Pool pop: the local aliases receiver state through the slice index,
+	// so its append is amortized growth of persistent scratch.
+	if len(e.free) > 0 {
+		l := e.free[len(e.free)-1]
+		l.recs = append(l.recs, i)
+		e.cur = l
+	}
+	// Index-owned slot writes never allocate.
+	e.out[i] = n
+	// Cold: an err != nil guard runs at most once per failure.
+	if err != nil {
+		e.fail([]byte(err.Error()))
+	}
+	// Cold: a panic-terminated block, and panic arguments themselves.
+	if n < 0 {
+		msg := string(raw)
+		panic(msg)
+	}
+	if n > 1<<30 {
+		panic(string(raw))
+	}
+	// A literal that captures nothing compiles to a static function value.
+	add := func(a, b int) int { return a + b }
+	e.steps = add(e.steps, 1)
+	// Forwarding a []any does not box; pointers and nil never box.
+	sink(e.args...)
+	sink(e.cur, nil)
+}
+
+// fail is in the cone (the walk is syntactic, not branch-aware), so it must
+// stay allocation-free even though its only caller is a cold branch.
+func (e *eng) fail(msg []byte) {
+	e.buf = append(e.buf[:0], msg...)
+	e.steps = -1
+}
+
+// Boot is not a hotpath root: nothing here is in any cone, so its scratch
+// allocations and constructor calls pass unremarked.
+func Boot() *eng {
+	e := NewEng(1024)
+	e.args = make([]any, 0, 4)
+	return e
+}

@@ -1,0 +1,70 @@
+// Corpus: the statement walker must find allocation sites nested inside
+// every statement kind Go puts on a hot path — loops, switches, selects,
+// sends, defers, declarations — and must treat panic-terminated switch
+// clauses as cold.
+package allocstmt
+
+type wrap struct {
+	b []byte
+}
+
+type q struct {
+	ch   chan []byte
+	vals []int
+	pp   *int
+}
+
+func (s *q) label(b []byte) string {
+	return string(b) // want "string conversion on the hot path"
+}
+
+func (s *q) done(b []byte) {
+	_ = b
+}
+
+//lint:hotpath golden corpus root exercising the statement walker
+func (s *q) Step(n int, v any) {
+	defer s.done(make([]byte, 8)) // want "make on the hot path"
+	for i := 0; i < n; i++ {
+		_ = make([]byte, i) // want "make on the hot path"
+	}
+	for range s.vals {
+		_ = new(int) // want "new on the hot path"
+	}
+loop:
+	for {
+		if n > 2 {
+			break loop
+		}
+		n = len(s.label(make([]byte, 1))) // want "make on the hot path"
+	}
+	switch n {
+	case 0:
+		_ = make([]int, 1) // want "make on the hot path"
+	case 1:
+		// A clause that ends in panic is cold: its allocations run at
+		// most once per failure.
+		_ = make([]int, 2)
+		panic("unreachable configuration")
+	}
+	switch v.(type) {
+	case int:
+		_ = make([]int, 3) // want "make on the hot path"
+	case string:
+		panic("unreachable configuration")
+	}
+	select {
+	case b := <-s.ch:
+		_ = b
+		_ = make([]byte, 4) // want "make on the hot path"
+	default:
+	}
+	s.ch <- make([]byte, 2) // want "make on the hot path"
+	s.vals[0]++
+	var scratch = make([]byte, 16) // want "make on the hot path"
+	_ = scratch
+	w := wrap{b: make([]byte, 1)} // want "make on the hot path"
+	_ = w
+	_ = *s.pp
+	_ = s.vals[n:]
+}

@@ -1,0 +1,19 @@
+// Corpus: a written //lint:ignore allocheck directive sanctions a deliberate
+// hot allocation; directives for other checks vouch for nothing.
+package allocsupp
+
+type pool struct {
+	spare [][]byte
+}
+
+//lint:hotpath golden corpus root for directive suppression
+func (p *pool) Step(n int) {
+	//lint:ignore allocheck warm-up: grows only until the retire loop starts feeding the free list
+	b := make([]byte, n)
+	p.spare = append(p.spare, b)
+	//lint:ignore determinism a directive for another check does not vouch for allocations
+	c := make([]byte, 1) // want "make on the hot path"
+	_ = c
+	q := new(pool) // want "new on the hot path"
+	_ = q
+}

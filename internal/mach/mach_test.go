@@ -72,8 +72,8 @@ func TestDigestCacheLRU(t *testing.T) {
 	if c.occupancy() != 4 {
 		t.Fatalf("occupancy = %d", c.occupancy())
 	}
-	if len(c.dump()) != 4 {
-		t.Fatalf("dump = %d", len(c.dump()))
+	if len(c.dumpInto(nil)) != 4 {
+		t.Fatalf("dump = %d", len(c.dumpInto(nil)))
 	}
 }
 

@@ -71,6 +71,16 @@ func newDigestCachePolicy(entries, ways int, policy Replacement) *digestCache {
 	return &digestCache{sets: sets, ways: ways, policy: policy, entries: make([]machEntry, entries)}
 }
 
+// reset returns the cache to its freshly constructed state so a retired
+// instance can serve as the next frame's current MACH without reallocating
+// the entry array.
+func (c *digestCache) reset() {
+	for i := range c.entries {
+		c.entries[i] = machEntry{}
+	}
+	c.tick = 0
+}
+
 func (c *digestCache) setIndex(digest uint32) int {
 	// §4.4: all 32 digest bits are uniformly distributed; the paper indexes
 	// with the low bits.
@@ -126,16 +136,17 @@ func (c *digestCache) insert(digest uint32, aux uint16, ptr uint64, origin int) 
 	c.entries[victim] = machEntry{digest: digest, aux: aux, ptr: ptr, origin: origin, valid: true, lru: c.tick}
 }
 
-// dump returns the frozen MACH contents as digest->pointer pairs, the per-
-// frame dump the display controller prefetches into its MACH buffer (§5.1).
-func (c *digestCache) dump() []framebuf.DumpEntry {
-	out := make([]framebuf.DumpEntry, 0, len(c.entries))
+// dumpInto appends the frozen MACH contents as digest->pointer pairs to dst,
+// the per-frame dump the display controller prefetches into its MACH buffer
+// (§5.1). Callers pass a recycled layout's Dump[:0] so steady-state frames
+// reuse the prior capacity.
+func (c *digestCache) dumpInto(dst []framebuf.DumpEntry) []framebuf.DumpEntry {
 	for _, e := range c.entries {
 		if e.valid {
-			out = append(out, framebuf.DumpEntry{Digest: e.digest, Ptr: e.ptr})
+			dst = append(dst, framebuf.DumpEntry{Digest: e.digest, Ptr: e.ptr})
 		}
 	}
-	return out
+	return dst
 }
 
 // occupancy returns the number of valid entries.

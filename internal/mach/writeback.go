@@ -3,6 +3,7 @@ package mach
 import (
 	"crypto/md5"
 	"fmt"
+	"time"
 
 	"mach/internal/codec"
 	"mach/internal/framebuf"
@@ -47,6 +48,13 @@ type Config struct {
 	// TrackCollisions verifies matches against true content fingerprints
 	// (measurement-only shadow state, Fig 12d).
 	TrackCollisions bool
+	// FastFingerprint swaps the TrackCollisions shadow fingerprint from MD5
+	// to the from-scratch 128-bit mixer in internal/hashes. The fingerprint
+	// only verifies matches (it is never a MACH tag), so a non-cryptographic
+	// mixer detects the same false matches at a fraction of the hot-path
+	// cost; MD5 stays the default so existing measurement runs reproduce
+	// bit-identically.
+	FastFingerprint bool
 	// TrackPopularity counts matches per digest (Fig 9b).
 	TrackPopularity bool
 }
@@ -174,8 +182,7 @@ type Writeback struct {
 	cfg     Config
 	current *digestCache
 	history []*digestCache // newest first
-	//lint:derived the co-MACH is rebuilt empty at the top of every ProcessFrame (§6.3); it holds no cross-frame state
-	co *coMach
+	co *coMach // reset empty at the top of every ProcessFrame (§6.3); no cross-frame state
 
 	stats  Stats
 	shadow map[uint64][16]byte // ptr -> content fingerprint (TrackCollisions)
@@ -205,6 +212,39 @@ type Writeback struct {
 	// coalescing buffer fill levels and flush cursors
 	//lint:derived per-frame flush cursors, zeroed at the top of every ProcessFrame
 	contentFill, ptrFill, baseFill int
+
+	// Recycled per-frame objects. Both lists are scratch, not State: a
+	// restored engine simply starts with empty free lists and re-amortizes.
+	//lint:derived retired FrameLayouts handed back by the pipeline (Recycle); reused by the next ProcessFrame
+	freeLayouts []*framebuf.FrameLayout
+	//lint:derived digest caches aged out of the frozen history; reset and reused as the next current MACH
+	freeCaches []*digestCache
+
+	// prehashWall accumulates host wall time spent in the prehash phase.
+	// It is measurement plumbing for the benchmark harness (the Amdahl
+	// share that bounds the parallel engine's speedup) — never simulation
+	// state: it does not feed any simulated quantity, is excluded from
+	// Stats and State, and merely reading the host clock cannot perturb the
+	// virtual timeline.
+	//lint:derived host-clock benchmark instrumentation, not simulation state; a restored engine restarts the accumulator at zero
+	prehashWall time.Duration
+}
+
+// PrehashWall returns the accumulated host wall time of the prehash phase,
+// the portion of the engine's work the pool shards. The benchmark harness
+// divides it by the engine width to report the work-conserving parallel
+// bound on machines without idle cores (see EXPERIMENTS.md).
+func (w *Writeback) PrehashWall() time.Duration { return w.prehashWall }
+
+// Recycle hands a retired frame layout back to the engine for reuse. The
+// caller must guarantee nothing references the layout anymore: the pipeline
+// calls it only for layouts older than the MACH retention window, after the
+// decoder's reference table has dropped them.
+func (w *Writeback) Recycle(l *framebuf.FrameLayout) {
+	if l == nil {
+		return
+	}
+	w.freeLayouts = append(w.freeLayouts, l)
 }
 
 // mabScratch is one worker's private block buffers.
@@ -308,50 +348,59 @@ const prehashGrain = 512
 // freely; the caller consumes the slots strictly in mab order.
 func (w *Writeback) prehashFrame(fr *codec.Frame, numMabs int) {
 	cfg := w.cfg
-	n := cfg.MabSize
-	mabsPerRow := fr.MabsPerRow(n)
+	mabsPerRow := fr.MabsPerRow(cfg.MabSize)
 	w.pre.resize(numMabs, cfg.CoMach, cfg.Gradient, w.shadow != nil)
-
-	shift := w.quantShift
-	hashOne := func(ord int, mab, gab []byte) {
-		x0 := (ord % mabsPerRow) * n
-		y0 := (ord / mabsPerRow) * n
-		fr.CopyBlock(x0, y0, n, mab)
-		if shift > 0 {
-			// Requantize to the rung's effective sample depth before any
-			// hashing: matching happens on what the coarser encode would
-			// have decoded, not on the full-quality synthesis.
-			mask := byte(0xFF) << shift
-			for i := range mab {
-				mab[i] &= mask
-			}
-		}
-		content := mab
-		if cfg.Gradient {
-			ComputeGab(mab, &w.pre.base[ord], gab)
-			content = gab
-		}
-		w.pre.digest[ord] = hashes.Digest32(cfg.Digest, content)
-		if cfg.CoMach {
-			w.pre.aux[ord] = hashes.CRC16CCITT(content)
-		}
-		if w.shadow != nil {
-			w.pre.fp[ord] = md5.Sum(content)
-		}
-	}
 
 	if w.pool.Workers() <= 1 {
 		for ord := 0; ord < numMabs; ord++ {
-			hashOne(ord, w.mabBuf, w.gabBuf)
+			w.hashOne(fr, mabsPerRow, ord, w.mabBuf, w.gabBuf)
 		}
 		return
 	}
+	//lint:ignore allocheck the sharded path pays one closure plus the pool's goroutines per frame; the sequential engine, which the 0-allocs/op gate measures, takes the inline loop above
 	w.pool.ForShards(numMabs, prehashGrain, func(lo, hi, worker int) {
 		s := &w.scratch[worker]
 		for ord := lo; ord < hi; ord++ {
-			hashOne(ord, s.mab, s.gab)
+			w.hashOne(fr, mabsPerRow, ord, s.mab, s.gab)
 		}
 	})
+}
+
+// hashOne fills mab ord's prehash slots: the digest, the CO-MACH aux hash,
+// the gab base, and the optional content fingerprint. It is a pure function
+// of the frame content writing only the ord-owned w.pre slots (plus the
+// caller-owned block buffers), which is what lets prehashFrame shard it.
+func (w *Writeback) hashOne(fr *codec.Frame, mabsPerRow, ord int, mab, gab []byte) {
+	cfg := w.cfg
+	n := cfg.MabSize
+	x0 := (ord % mabsPerRow) * n
+	y0 := (ord / mabsPerRow) * n
+	fr.CopyBlock(x0, y0, n, mab)
+	if shift := w.quantShift; shift > 0 {
+		// Requantize to the rung's effective sample depth before any
+		// hashing: matching happens on what the coarser encode would
+		// have decoded, not on the full-quality synthesis.
+		mask := byte(0xFF) << shift
+		for i := range mab {
+			mab[i] &= mask
+		}
+	}
+	content := mab
+	if cfg.Gradient {
+		ComputeGab(mab, &w.pre.base[ord], gab)
+		content = gab
+	}
+	w.pre.digest[ord] = hashes.Digest32(cfg.Digest, content)
+	if cfg.CoMach {
+		w.pre.aux[ord] = hashes.CRC16CCITT(content)
+	}
+	if w.shadow != nil {
+		if cfg.FastFingerprint {
+			w.pre.fp[ord] = hashes.Fingerprint128(content)
+		} else {
+			w.pre.fp[ord] = md5.Sum(content)
+		}
+	}
 }
 
 // Stats returns the accumulated statistics.
@@ -417,6 +466,8 @@ func (w *Writeback) flushPartial(fill *int, cursor *uint64, sink WriteSink) {
 // the frame's buffer slot (content area first, metadata after); dumpBase is
 // where the frozen-MACH dump will live. sink, when non-nil, receives every
 // line write. The returned layout is what the display controller consumes.
+//
+//lint:hotpath the per-frame MACH writeback: prehash plus serial classification of every mab
 func (w *Writeback) ProcessFrame(fr *codec.Frame, displayIndex int, bufferBase, dumpBase uint64, sink WriteSink) *framebuf.FrameLayout {
 	cfg := w.cfg
 	n := cfg.MabSize
@@ -424,16 +475,23 @@ func (w *Writeback) ProcessFrame(fr *codec.Frame, displayIndex int, bufferBase, 
 	numMabs := fr.NumMabs(n)
 	frameBytes := uint64(fr.SizeBytes())
 
-	layout := &framebuf.FrameLayout{
-		Kind:         cfg.Layout,
-		DisplayIndex: displayIndex,
-		MabBytes:     mabBytes,
-		Gradient:     cfg.Gradient,
-		BufferBase:   bufferBase,
-		MetaBase:     alignUp(bufferBase+frameBytes, cfg.LineBytes),
-		DumpBase:     dumpBase,
-		Records:      make([]framebuf.MabRecord, 0, numMabs),
+	var layout *framebuf.FrameLayout
+	if n := len(w.freeLayouts); n > 0 {
+		layout = w.freeLayouts[n-1]
+		w.freeLayouts[n-1] = nil
+		w.freeLayouts = w.freeLayouts[:n-1]
+		*layout = framebuf.FrameLayout{Records: layout.Records[:0], Dump: layout.Dump[:0]}
+	} else {
+		//lint:ignore allocheck pool warm-up: layouts allocate until the pipeline's retire loop starts feeding Recycle; steady-state frames reuse retired layouts
+		layout = &framebuf.FrameLayout{Records: make([]framebuf.MabRecord, 0, numMabs)}
 	}
+	layout.Kind = cfg.Layout
+	layout.DisplayIndex = displayIndex
+	layout.MabBytes = mabBytes
+	layout.Gradient = cfg.Gradient
+	layout.BufferBase = bufferBase
+	layout.MetaBase = alignUp(bufferBase+frameBytes, cfg.LineBytes)
+	layout.DumpBase = dumpBase
 	w.stats.RawBytes += frameBytes
 
 	if cfg.Layout == framebuf.LayoutRaw {
@@ -442,9 +500,17 @@ func (w *Writeback) ProcessFrame(fr *codec.Frame, displayIndex int, bufferBase, 
 		return layout
 	}
 
-	w.current = newDigestCachePolicy(cfg.EntriesPerMACH, cfg.Ways, cfg.Policy)
+	if n := len(w.freeCaches); n > 0 {
+		w.current = w.freeCaches[n-1]
+		w.freeCaches[n-1] = nil
+		w.freeCaches = w.freeCaches[:n-1]
+		w.current.reset()
+	} else {
+		//lint:ignore allocheck history warm-up: a fresh MACH is built until NumMACHs frames have aged caches into the free list; steady-state frames reset a recycled one
+		w.current = newDigestCachePolicy(cfg.EntriesPerMACH, cfg.Ways, cfg.Policy)
+	}
 	if cfg.CoMach {
-		w.co = newCoMach(cfg.CoMachEntries, cfg.CoMachWays) // per-frame (§6.3)
+		w.co.cache.reset() // rebuilt empty per frame (§6.3)
 	}
 
 	contentCursor := bufferBase
@@ -458,7 +524,10 @@ func (w *Writeback) ProcessFrame(fr *codec.Frame, displayIndex int, bufferBase, 
 	// frame content (digest, aux, gab base, shadow fingerprint). This is
 	// the only phase a pool shards; with no pool it runs inline, through
 	// the same code, so the two engines cannot diverge.
+	//lint:ignore determinism host-clock benchmark instrumentation: the measured duration feeds only the harness-facing PrehashWall accumulator, never any simulated quantity
+	prehashStart := time.Now()
 	w.prehashFrame(fr, numMabs)
+	w.prehashWall += time.Since(prehashStart)
 
 	// Phase 2 — classification: an order-preserving serial reduction. MACH
 	// lookups mutate LRU state, the coalescing buffers carry fill across
@@ -540,7 +609,7 @@ func (w *Writeback) ProcessFrame(fr *codec.Frame, displayIndex int, bufferBase, 
 
 	// Freeze this frame's MACH: dump it for the display (layout iii) and
 	// push it onto the history searched by subsequent frames.
-	layout.Dump = w.current.dump()
+	layout.Dump = w.current.dumpInto(layout.Dump[:0])
 	if cfg.Layout == framebuf.LayoutPtrDigest {
 		dumpBytes := uint64(len(layout.Dump) * 8)
 		w.stats.DumpBytes += dumpBytes
@@ -552,10 +621,17 @@ func (w *Writeback) ProcessFrame(fr *codec.Frame, displayIndex int, bufferBase, 
 		}
 	}
 	if cfg.NumMACHs > 0 {
-		w.history = append([]*digestCache{w.current}, w.history...)
-		if len(w.history) > cfg.NumMACHs {
-			w.history = w.history[:cfg.NumMACHs]
+		// Shift the history in place (newest first): grow until the window
+		// is full, then age the oldest MACH into the free list for reuse.
+		if len(w.history) < cfg.NumMACHs {
+			w.history = append(w.history, nil)
+		} else {
+			w.freeCaches = append(w.freeCaches, w.history[len(w.history)-1])
 		}
+		copy(w.history[1:], w.history)
+		w.history[0] = w.current
+	} else {
+		w.freeCaches = append(w.freeCaches, w.current)
 	}
 	w.current = nil
 	return layout
