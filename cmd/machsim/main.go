@@ -30,7 +30,6 @@ import (
 	"io/fs"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 
 	"mach"
@@ -164,7 +163,7 @@ func main() {
 	var s mach.Scheme
 	if !*all {
 		var err error
-		if s, err = schemeByName(*scheme, *batch); err != nil {
+		if s, err = mach.SchemeByName(*scheme, *batch); err != nil {
 			usage("-scheme %s: %v", *scheme, err)
 		}
 	}
@@ -290,27 +289,6 @@ func main() {
 	}
 	fmt.Print(r)
 	_ = verbose
-}
-
-func schemeByName(name string, batch int) (mach.Scheme, error) {
-	switch strings.ToLower(name) {
-	case "baseline", "l":
-		return mach.Baseline(), nil
-	case "batching", "b":
-		return mach.Batching(batch), nil
-	case "racing", "r":
-		return mach.Racing(), nil
-	case "race-to-sleep", "rts", "s":
-		return mach.RaceToSleep(batch), nil
-	case "mab", "m":
-		return mach.MAB(batch), nil
-	case "gab", "g":
-		return mach.GAB(batch), nil
-	case "gab-nodc":
-		return mach.GABNoDisplayOpt(batch), nil
-	default:
-		return mach.Scheme{}, fmt.Errorf("unknown scheme %q (want baseline|batching|racing|race-to-sleep|mab|gab|gab-nodc)", name)
-	}
 }
 
 // usage reports an invalid invocation and exits with the usage code so

@@ -34,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig1a, fig2, fig4, fig5, fig6, fig7, fig9, fig10, fig11, fig12, table1, table2, dcc, record, te, replacement, colorspace, contention, delivery, netprofiles, abr) or 'all'")
+		exp      = flag.String("exp", "all", "experiment id (fig1a, fig2, fig4, fig5, fig6, fig7, fig9, fig10, fig11, fig12, table1, table2, dcc, record, te, replacement, colorspace, contention, delivery, netprofiles, abr, fleet) or 'all'")
 		quick    = flag.Bool("quick", false, "reduced scale")
 		frames   = flag.Int("frames", 0, "override frames per workload")
 		width    = flag.Int("width", 0, "override frame width")
@@ -108,6 +108,7 @@ func main() {
 		{"delivery", "Fault injection: stall rate x bandwidth under imperfect delivery", func() (*stats.Table, error) { return r.Delivery(nil, nil) }},
 		{"netprofiles", "Fault injection: GAB across link profiles", r.DeliveryProfiles},
 		{"abr", "Graceful degradation: link headroom x contention x ABR policy", func() (*stats.Table, error) { return r.ABRContention(nil, nil) }},
+		{"fleet", "Fleet scale: per-user energy/QoE distributions under churn and contention", func() (*stats.Table, error) { return r.Fleet(0) }},
 	}
 
 	// Each cached cell is fingerprinted with the experiment id plus the

@@ -119,6 +119,18 @@ func DecodeBytes(b []byte, want Fingerprint) ([]byte, error) {
 	return Decode(bytes.NewReader(b), want)
 }
 
+// EncodeBytes is Encode into a fresh byte slice — the in-memory dual of
+// DecodeBytes, used by fuzz targets and tests that corrupt containers
+// without touching the filesystem.
+func EncodeBytes(fp Fingerprint, payload []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(headerLen + len(payload))
+	if err := Encode(&buf, fp, payload); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // Save atomically writes a container to path: temp file in the same
 // directory, fsync, close, rename. The destination directory is created if
 // missing.

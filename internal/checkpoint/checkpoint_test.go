@@ -291,3 +291,29 @@ func TestSaveEncodeFailureLeavesNoLitter(t *testing.T) {
 		t.Fatalf("failed Save left %d file(s) behind: %v", len(entries), entries)
 	}
 }
+
+func TestEncodeBytesRoundTrip(t *testing.T) {
+	payload := []byte(`{"frame":42}`)
+	b, err := EncodeBytes(testFP(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBytes(b, testFP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload round trip: %q", got)
+	}
+	// A foreign fingerprint and a flipped payload byte must both reject as
+	// ErrCorrupt.
+	var other Fingerprint
+	other[0] = 0xff
+	if _, err := DecodeBytes(b, other); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("foreign fingerprint: %v", err)
+	}
+	b[len(b)-1] ^= 0xff
+	if _, err := DecodeBytes(b, testFP()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped byte: %v", err)
+	}
+}

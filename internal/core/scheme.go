@@ -11,7 +11,10 @@
 // and every substrate's counters.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // MachMode selects the content-caching scheme.
 type MachMode int
@@ -137,6 +140,31 @@ func GABNoDisplayOpt(n int) Scheme {
 // DefaultBatch is the batch depth of the headline configuration (§6.3
 // discusses batching 8 frames with GAB).
 const DefaultBatch = 8
+
+// SchemeByName resolves a CLI scheme key (long name or the paper's
+// single-letter shorthand, case-insensitive) to a constructed scheme at the
+// given batch depth. Every command that takes a -scheme flag shares this
+// table, so machsim and machfleet cannot drift apart on spelling.
+func SchemeByName(name string, batch int) (Scheme, error) {
+	switch strings.ToLower(name) {
+	case "baseline", "l":
+		return Baseline(), nil
+	case "batching", "b":
+		return Batching(batch), nil
+	case "racing", "r":
+		return Racing(), nil
+	case "race-to-sleep", "rts", "s":
+		return RaceToSleep(batch), nil
+	case "mab", "m":
+		return MAB(batch), nil
+	case "gab", "g":
+		return GAB(batch), nil
+	case "gab-nodc":
+		return GABNoDisplayOpt(batch), nil
+	default:
+		return Scheme{}, fmt.Errorf("unknown scheme %q (want baseline|batching|racing|race-to-sleep|mab|gab|gab-nodc)", name)
+	}
+}
 
 // StandardSchemes returns the six Fig 11 bars in plotting order.
 func StandardSchemes() []Scheme {

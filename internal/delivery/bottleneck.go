@@ -36,16 +36,18 @@ type Bottleneck struct {
 	Seed int64
 }
 
+// MaxBottleneckSessions caps the per-quantum activity scan; with
+// maxTransferQuanta it bounds the work one transfer can cost, so hostile
+// configurations cannot make planning crawl. Exported so callers that derive
+// a cell population (the fleet supervisor) can clamp to the same cap instead
+// of tripping Validate.
+const MaxBottleneckSessions = 16
+
 // Defaults applied by normalize.
 const (
 	defaultBottleneckWeight = 1.0
 	defaultActiveProb       = 0.7
 	defaultQuantum          = 50 * sim.Millisecond
-
-	// maxBottleneckSessions caps the per-quantum activity scan; with
-	// maxTransferQuanta it bounds the work one transfer can cost, so
-	// hostile configurations cannot make planning crawl.
-	maxBottleneckSessions = 16
 
 	// maxTransferQuanta bounds the quantum walk of one transfer; past it
 	// the remainder completes at the expected average share in closed
@@ -79,8 +81,8 @@ func (b Bottleneck) Validate() error {
 	}
 	n := b.normalize()
 	switch {
-	case b.Sessions > maxBottleneckSessions:
-		return fmt.Errorf("delivery: bottleneck sessions %d over the %d cap", b.Sessions, maxBottleneckSessions)
+	case b.Sessions > MaxBottleneckSessions:
+		return fmt.Errorf("delivery: bottleneck sessions %d over the %d cap", b.Sessions, MaxBottleneckSessions)
 	case math.IsNaN(n.Weight) || n.Weight < 0.0625 || n.Weight > 16:
 		return fmt.Errorf("delivery: bottleneck weight %g outside [1/16,16]", n.Weight)
 	case math.IsNaN(n.ActiveProb) || n.ActiveProb < 0 || n.ActiveProb > 1:

@@ -17,7 +17,7 @@ func TestBottleneckValidate(t *testing.T) {
 		return b
 	}
 	bad := map[string]Bottleneck{
-		"sessions over cap": mut(func(b *Bottleneck) { b.Sessions = maxBottleneckSessions + 1 }),
+		"sessions over cap": mut(func(b *Bottleneck) { b.Sessions = MaxBottleneckSessions + 1 }),
 		"weight too small":  mut(func(b *Bottleneck) { b.Weight = 0.01 }),
 		"weight too large":  mut(func(b *Bottleneck) { b.Weight = 17 }),
 		"weight nan":        mut(func(b *Bottleneck) { b.Weight = nan() }),

@@ -183,3 +183,20 @@ func TestFig12Sweeps(t *testing.T) {
 	tb, err = r.Fig2CDFPoints(r.Cfg.Videos[0], 5)
 	checkTable(t, tb, err, "")
 }
+
+func TestFleetExperiment(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	tb, err := r.Fleet(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 3 {
+		t.Fatalf("rows = %d, want one per scheme", tb.NumRows())
+	}
+	out := tb.String()
+	for _, name := range []string{"Baseline", "Race-to-Sleep", "GAB"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("fleet table missing %s:\n%s", name, out)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mach/internal/core"
+	"mach/internal/delivery"
+	"mach/internal/fleet"
+	"mach/internal/stats"
+)
+
+// Fleet runs the population simulator over the headline schemes: a fleet of
+// churning viewer sessions — hashed profile, length, join/leave window, and
+// bandwidth per session, cell-local shared bottlenecks — on an LTE link, one
+// fleet per scheme with identical plans. The table reports what the
+// single-device figures cannot: energy-per-user and QoE *distributions*
+// across a heterogeneous population, where race-to-sleep and GAB must hold
+// their ordering not on one workload but across the percentile tail.
+func (r *Runner) Fleet(sessions int) (*stats.Table, error) {
+	if sessions == 0 {
+		sessions = 8 * len(r.Cfg.Videos)
+	}
+	schemes := []core.Scheme{
+		core.Baseline(),
+		core.RaceToSleep(core.DefaultBatch),
+		core.GAB(core.DefaultBatch),
+	}
+
+	tb := stats.NewTable("scheme", "sessions", "J/user", "p90", "p99", "norm",
+		"rebuf/frame", "startup-ms", "quarantined")
+	var baseMean float64
+	for i, s := range schemes {
+		cfg := fleet.Default()
+		cfg.Sessions = sessions
+		cfg.Workers = r.Cfg.Workers
+		cfg.Scheme = s
+		cfg.Stream = r.Cfg.Stream
+		cfg.Platform = r.Cfg.Platform
+		cfg.Platform.Delivery = delivery.LTE()
+		cfg.Profiles = r.Cfg.Videos
+		sup, err := fleet.NewSupervisor(cfg)
+		if err != nil {
+			return nil, err
+		}
+		agg, err := sup.Run(fleet.RunOptions{})
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			baseMean = agg.EnergyJ.Mean
+		}
+		tb.AddRow(s.Name, agg.Sessions,
+			fmt.Sprintf("%.3f", agg.EnergyJ.Mean),
+			fmt.Sprintf("%.3f", agg.EnergyJ.P90),
+			fmt.Sprintf("%.3f", agg.EnergyJ.P99),
+			fmt.Sprintf("%.3f", agg.EnergyJ.Mean/baseMean),
+			fmt.Sprintf("%.4f", agg.RebufferRate.Mean),
+			fmt.Sprintf("%.1f", agg.StartupMs.Mean),
+			agg.Quarantined)
+	}
+	return tb, nil
+}

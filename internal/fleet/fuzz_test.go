@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"mach/internal/checkpoint"
+)
+
+// FuzzShardManifestLoad throws arbitrary bytes at the full manifest decode
+// path — container header, CRC, fingerprint, JSON payload, and the shard
+// Restore invariants. The contract: never panic, never accept a malformed
+// manifest, and report every rejection as checkpoint.ErrCorrupt so the
+// supervisor's recompute-on-corruption branch catches it.
+func FuzzShardManifestLoad(f *testing.F) {
+	cfg := testConfig()
+	plans := cfg.Plans()
+	lo, hi := cfg.ShardRange(0)
+	fp := cfg.shardFingerprint(0, lo, hi)
+
+	seed := func(st shardState) {
+		payload, err := json.Marshal(st)
+		if err != nil {
+			f.Fatal(err)
+		}
+		b, err := checkpoint.EncodeBytes(fp, payload)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	fresh := newShardRun(0, lo, hi, plans)
+	seed(fresh.Snapshot())
+	mid := fresh.Snapshot()
+	mid.Next = lo + 2
+	mid.Metrics = []SessionMetrics{okMetrics(plans, lo)}
+	mid.Quarantined = []QuarantineRecord{{Session: lo + 1, Err: "boom"}}
+	seed(mid)
+	f.Add([]byte{})
+	f.Add([]byte("MCKP"))
+	valid, err := checkpoint.EncodeBytes(fp, []byte(`{"format":1}`))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := checkpoint.DecodeBytes(data, fp)
+		if err != nil {
+			if !errors.Is(err, checkpoint.ErrCorrupt) {
+				t.Fatalf("container rejection %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		sr := newShardRun(0, lo, hi, plans)
+		if err := sr.restorePayload(payload); err != nil {
+			if !errors.Is(err, checkpoint.ErrCorrupt) {
+				t.Fatalf("manifest rejection %v does not wrap ErrCorrupt", err)
+			}
+			if sr.next != lo || sr.metrics != nil || sr.quar != nil {
+				t.Fatal("rejected manifest mutated the shard")
+			}
+			return
+		}
+		// Accepted manifests must re-encode and restore to the same cursor.
+		sr2 := newShardRun(0, lo, hi, plans)
+		if err := sr2.Restore(sr.Snapshot()); err != nil {
+			t.Fatalf("accepted manifest does not round-trip: %v", err)
+		}
+		if sr2.next != sr.next {
+			t.Fatalf("round trip moved the cursor %d -> %d", sr.next, sr2.next)
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"errors"
+	"io/fs"
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"mach/internal/checkpoint"
+)
+
+// okMetrics returns a SessionMetrics that passes validation for session s.
+func okMetrics(plans []Plan, s int) SessionMetrics {
+	return SessionMetrics{
+		Session:       s,
+		Profile:       plans[s].Profile,
+		Frames:        plans[s].Frames,
+		EnergyJ:       0.25,
+		MachMatchRate: 0.5,
+	}
+}
+
+// validState is a mid-run snapshot: sessions 0 and 2 completed, 1
+// quarantined, cursor at 3 of [0,4).
+func validState(plans []Plan) shardState {
+	return shardState{
+		Format:      FormatVersion,
+		Shard:       0,
+		Lo:          0,
+		Hi:          4,
+		Next:        3,
+		Metrics:     []SessionMetrics{okMetrics(plans, 0), okMetrics(plans, 2)},
+		Quarantined: []QuarantineRecord{{Session: 1, Err: "boom"}},
+	}
+}
+
+func TestShardRestoreRoundTrip(t *testing.T) {
+	plans := testConfig().Plans()
+	sr := newShardRun(0, 0, 4, plans)
+	if err := sr.Restore(validState(plans)); err != nil {
+		t.Fatal(err)
+	}
+	if sr.next != 3 || len(sr.metrics) != 2 || len(sr.quar) != 1 {
+		t.Fatalf("restored state next=%d metrics=%d quar=%d", sr.next, len(sr.metrics), len(sr.quar))
+	}
+	// Snapshot of the restored shard must round-trip to the same state.
+	sr2 := newShardRun(0, 0, 4, plans)
+	if err := sr2.Restore(sr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if sr2.next != sr.next || len(sr2.metrics) != len(sr.metrics) {
+		t.Fatal("snapshot/restore not idempotent")
+	}
+}
+
+func TestShardRestoreRejects(t *testing.T) {
+	plans := testConfig().Plans()
+	for _, tc := range []struct {
+		name   string
+		mutate func(*shardState)
+	}{
+		{"format", func(st *shardState) { st.Format = 2 }},
+		{"wrong shard", func(st *shardState) { st.Shard = 1 }},
+		{"wrong range", func(st *shardState) { st.Hi = 5 }},
+		{"cursor below range", func(st *shardState) { st.Next = -1 }},
+		{"cursor above range", func(st *shardState) { st.Next = 5 }},
+		{"too many metrics", func(st *shardState) {
+			st.Metrics = append(st.Metrics, st.Metrics[0], st.Metrics[0], st.Metrics[0])
+		}},
+		{"gap below cursor", func(st *shardState) { st.Metrics = st.Metrics[:1] }},
+		{"outcome above cursor", func(st *shardState) {
+			st.Metrics = append(st.Metrics, okMetrics(testConfig().Plans(), 3))
+		}},
+		{"duplicate outcome", func(st *shardState) { st.Quarantined[0].Session = 2 }},
+		{"empty quarantine error", func(st *shardState) { st.Quarantined[0].Err = "" }},
+		{"oversized quarantine error", func(st *shardState) {
+			st.Quarantined[0].Err = strings.Repeat("x", maxQuarantineErr+1)
+		}},
+		{"session outside fleet", func(st *shardState) { st.Metrics[0].Session = -1; st.Quarantined[0].Session = 0 }},
+		{"profile mismatch", func(st *shardState) { st.Metrics[0].Profile = "V99" }},
+		{"zero frames", func(st *shardState) { st.Metrics[0].Frames = 0 }},
+		{"negative counter", func(st *shardState) { st.Metrics[0].Drops = -1 }},
+		{"nan energy", func(st *shardState) { st.Metrics[0].EnergyJ = math.NaN() }},
+		{"negative energy", func(st *shardState) { st.Metrics[0].RadioJ = -1 }},
+		{"match rate above one", func(st *shardState) { st.Metrics[0].MachMatchRate = 1.5 }},
+	} {
+		st := validState(plans)
+		tc.mutate(&st)
+		sr := newShardRun(0, 0, 4, plans)
+		if err := sr.Restore(st); err == nil {
+			t.Errorf("%s: Restore accepted %+v", tc.name, st)
+		} else if sr.next != 0 || sr.metrics != nil || sr.quar != nil {
+			t.Errorf("%s: failed Restore mutated the shard", tc.name)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	plans := cfg.Plans()
+	fp := cfg.shardFingerprint(0, 0, 4)
+	dir := t.TempDir()
+
+	sr := newShardRun(0, 0, 4, plans)
+	if err := sr.loadManifest(dir, fp); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing manifest load: %v, want fs.ErrNotExist", err)
+	}
+	if err := sr.Restore(validState(plans)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.saveManifest(dir, fp); err != nil {
+		t.Fatal(err)
+	}
+
+	sr2 := newShardRun(0, 0, 4, plans)
+	if err := sr2.loadManifest(dir, fp); err != nil {
+		t.Fatal(err)
+	}
+	if sr2.next != sr.next || len(sr2.metrics) != len(sr.metrics) || len(sr2.quar) != len(sr.quar) {
+		t.Fatal("manifest round trip lost state")
+	}
+
+	// A flipped payload byte must surface as ErrCorrupt, as must a manifest
+	// loaded under a different fleet fingerprint.
+	path := ManifestPath(dir, 0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := newShardRun(0, 0, 4, plans).loadManifest(dir, fp); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("corrupt manifest load: %v, want ErrCorrupt", err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Seed = 99
+	if err := newShardRun(0, 0, 4, other.Plans()).loadManifest(dir, other.shardFingerprint(0, 0, 4)); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("foreign manifest load: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncateErr(t *testing.T) {
+	if got := truncateErr(""); got != "(empty error)" {
+		t.Fatalf("empty: %q", got)
+	}
+	if got := truncateErr("boom"); got != "boom" {
+		t.Fatalf("short: %q", got)
+	}
+	long := strings.Repeat("x", 2*maxQuarantineErr)
+	if got := truncateErr(long); len(got) != maxQuarantineErr || !strings.HasSuffix(got, "...") {
+		t.Fatalf("long: %d bytes, suffix %q", len(got), got[len(got)-3:])
+	}
+}

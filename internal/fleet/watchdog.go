@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+)
+
+// WatchdogConfig bounds how long a shard may go without committing progress
+// before the supervisor aborts and restarts it, and how many restarts it
+// gets before the shard (and the run) is declared failed. The watchdog never
+// reads a wall clock itself — the supervisor feeds it times from an injected
+// clock, which is what keeps the fleet package inside the determinism lint
+// scope and the state machine unit-testable with a fake clock.
+type WatchdogConfig struct {
+	// StallDeadline is the no-progress window that counts as a stall;
+	// 0 disables the watchdog.
+	StallDeadline time.Duration
+	// Tick is how often progress is sampled; 0 selects StallDeadline/4
+	// (at least a millisecond).
+	Tick time.Duration
+	// MaxRestarts bounds restarts per shard; 0 selects 3.
+	MaxRestarts int
+	// BackoffBase and BackoffMax shape the exponential restart backoff
+	// (base << attempt, capped); zeros select 10ms and 1s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+// Enabled reports whether stall detection is on.
+func (w WatchdogConfig) Enabled() bool { return w.StallDeadline > 0 }
+
+// normalize fills the zero-value defaults.
+func (w WatchdogConfig) normalize() WatchdogConfig {
+	if !w.Enabled() {
+		return w
+	}
+	if w.Tick == 0 {
+		w.Tick = w.StallDeadline / 4
+	}
+	if w.Tick < time.Millisecond {
+		w.Tick = time.Millisecond
+	}
+	if w.MaxRestarts == 0 {
+		w.MaxRestarts = 3
+	}
+	if w.BackoffBase <= 0 {
+		w.BackoffBase = 10 * time.Millisecond
+	}
+	if w.BackoffMax <= 0 {
+		w.BackoffMax = time.Second
+	}
+	return w
+}
+
+// Validate reports malformed watchdog configurations.
+func (w WatchdogConfig) Validate() error {
+	if w.StallDeadline < 0 {
+		return fmt.Errorf("fleet: negative stall deadline %v", w.StallDeadline)
+	}
+	if w.MaxRestarts < 0 || w.MaxRestarts > 64 {
+		return fmt.Errorf("fleet: max restarts %d outside [0,64]", w.MaxRestarts)
+	}
+	return nil
+}
+
+// backoff returns the sleep before restart attempt+1: BackoffBase doubled
+// per prior attempt, capped at BackoffMax.
+func (w WatchdogConfig) backoff(attempt int) time.Duration {
+	d := w.BackoffBase
+	for i := 0; i < attempt && d < w.BackoffMax; i++ {
+		d *= 2
+	}
+	return min(d, w.BackoffMax)
+}
+
+// watchdog tracks one shard attempt's progress against the deadline. Pure
+// state over (progress, now) observations — no clocks, no channels.
+type watchdog struct {
+	cfg        WatchdogConfig
+	last       int64
+	lastChange time.Duration
+}
+
+// launched (re)arms the watchdog at an attempt start.
+func (w *watchdog) launched(progress int64, now time.Duration) {
+	w.last = progress
+	w.lastChange = now
+}
+
+// stalled reports whether the shard has gone a full deadline without
+// progress as of the given observation.
+func (w *watchdog) stalled(progress int64, now time.Duration) bool {
+	if progress != w.last {
+		w.last = progress
+		w.lastChange = now
+		return false
+	}
+	return now-w.lastChange >= w.cfg.StallDeadline
+}

@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWatchdogConfigNormalize(t *testing.T) {
+	w := WatchdogConfig{StallDeadline: time.Second}.normalize()
+	if w.Tick != 250*time.Millisecond || w.MaxRestarts != 3 ||
+		w.BackoffBase != 10*time.Millisecond || w.BackoffMax != time.Second {
+		t.Fatalf("defaults: %+v", w)
+	}
+	if w := (WatchdogConfig{StallDeadline: 2 * time.Millisecond}).normalize(); w.Tick != time.Millisecond {
+		t.Fatalf("tick floor: %v", w.Tick)
+	}
+	if w := (WatchdogConfig{}).normalize(); w.Enabled() || w.Tick != 0 {
+		t.Fatalf("disabled watchdog normalized to %+v", w)
+	}
+}
+
+func TestWatchdogConfigValidate(t *testing.T) {
+	if err := (WatchdogConfig{StallDeadline: -time.Second}).Validate(); err == nil {
+		t.Fatal("negative deadline accepted")
+	}
+	if err := (WatchdogConfig{MaxRestarts: 65}).Validate(); err == nil {
+		t.Fatal("oversized restart budget accepted")
+	}
+	if err := (WatchdogConfig{StallDeadline: time.Second, MaxRestarts: 3}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchdogBackoff(t *testing.T) {
+	w := WatchdogConfig{StallDeadline: time.Second}.normalize()
+	for i, want := range []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+	} {
+		if got := w.backoff(i); got != want {
+			t.Fatalf("backoff(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if got := w.backoff(20); got != w.BackoffMax {
+		t.Fatalf("backoff(20) = %v, want cap %v", got, w.BackoffMax)
+	}
+}
+
+func TestWatchdogStallDetection(t *testing.T) {
+	cfg := WatchdogConfig{StallDeadline: 100 * time.Millisecond}.normalize()
+	dog := watchdog{cfg: cfg}
+	dog.launched(0, 0)
+	if dog.stalled(0, 99*time.Millisecond) {
+		t.Fatal("stalled inside the deadline")
+	}
+	if !dog.stalled(0, 100*time.Millisecond) {
+		t.Fatal("not stalled at the deadline")
+	}
+	// Progress resets the window.
+	dog.launched(0, 0)
+	if dog.stalled(1, 90*time.Millisecond) {
+		t.Fatal("progress flagged as stall")
+	}
+	if dog.stalled(1, 189*time.Millisecond) {
+		t.Fatal("stalled before a full deadline since the last progress")
+	}
+	if !dog.stalled(1, 190*time.Millisecond) {
+		t.Fatal("not stalled a full deadline after the last progress")
+	}
+}

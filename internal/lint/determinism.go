@@ -27,7 +27,7 @@ var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "forbid wall-clock time, the global math/rand source, order-dependent " +
 		"map iteration, and unsynchronized captured-variable writes in goroutines " +
-		"in the simulation packages (internal/sim, core, video, mach, delivery, experiments, par)",
+		"in the simulation packages (internal/sim, core, video, mach, delivery, experiments, par, fleet)",
 	Run: runDeterminism,
 }
 
@@ -42,6 +42,7 @@ var determinismScope = []string{
 	"mach/internal/delivery",
 	"mach/internal/experiments",
 	"mach/internal/par",
+	"mach/internal/fleet",
 }
 
 func inScope(path string, scope []string) bool {

@@ -161,6 +161,37 @@ func (s *Sample) FractionBetween(lo, hi float64) float64 {
 	return s.FractionAbove(lo) - s.FractionAbove(hi)
 }
 
+// Summary is a JSON-stable quantile digest of a Sample: count, mean, and the
+// five quantiles population reports care about. The zero value (all zeros)
+// stands in for an empty sample so marshaling never emits NaN, which
+// encoding/json rejects.
+type Summary struct {
+	N    int64
+	Mean float64
+	Min  float64
+	P50  float64
+	P90  float64
+	P99  float64
+	Max  float64
+}
+
+// Summarize digests the sample into a Summary. Empty samples yield the zero
+// Summary rather than NaN-filled fields.
+func (s *Sample) Summarize() Summary {
+	if len(s.xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:    int64(len(s.xs)),
+		Mean: s.Mean(),
+		Min:  s.Quantile(0),
+		P50:  s.Quantile(0.5),
+		P90:  s.Quantile(0.9),
+		P99:  s.Quantile(0.99),
+		Max:  s.Quantile(1),
+	}
+}
+
 // CDFPoint is one point of an empirical CDF: fraction P of observations are
 // <= X.
 type CDFPoint struct {

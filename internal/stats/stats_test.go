@@ -183,3 +183,31 @@ func TestTable(t *testing.T) {
 		t.Fatalf("rows = %d", tb.NumRows())
 	}
 }
+
+func TestSummarize(t *testing.T) {
+	if got := NewSample(0).Summarize(); got != (Summary{}) {
+		t.Fatalf("empty sample summarized to %+v, want the zero value", got)
+	}
+	one := NewSample(1)
+	one.Add(3.5)
+	if got := one.Summarize(); got != (Summary{N: 1, Mean: 3.5, Min: 3.5, P50: 3.5, P90: 3.5, P99: 3.5, Max: 3.5}) {
+		t.Fatalf("single-value summary: %+v", got)
+	}
+	s := NewSample(100)
+	for i := 100; i >= 1; i-- {
+		s.Add(float64(i))
+	}
+	sum := s.Summarize()
+	if sum.N != 100 || sum.Min != 1 || sum.Max != 100 {
+		t.Fatalf("summary bounds: %+v", sum)
+	}
+	if sum.Mean < 50.4 || sum.Mean > 50.6 {
+		t.Fatalf("mean %g, want 50.5", sum.Mean)
+	}
+	if !(sum.Min <= sum.P50 && sum.P50 <= sum.P90 && sum.P90 <= sum.P99 && sum.P99 <= sum.Max) {
+		t.Fatalf("quantiles out of order: %+v", sum)
+	}
+	if sum.P50 < 45 || sum.P50 > 55 || sum.P99 < 95 {
+		t.Fatalf("quantiles off: %+v", sum)
+	}
+}

@@ -143,6 +143,8 @@ var (
 	LoadCheckpoint = core.LoadCheckpoint
 
 	// Scheme constructors (the six bars of Fig 11 plus the §5 ablation).
+	// SchemeByName resolves a CLI key ("gab", "rts", ...) to a scheme.
+	SchemeByName     = core.SchemeByName
 	AdaptiveBatching = core.AdaptiveBatching
 	SlackPredictive  = core.SlackPredictive
 	Baseline         = core.Baseline
